@@ -1,0 +1,149 @@
+// Ablation bench (beyond the paper): the design knobs DESIGN.md calls out.
+//
+//  1. adaptive alpha            — the paper's alpha is unreadable; show the
+//                                 sensitivity and why alpha = 2 is chosen.
+//  2. negative cache size / Nt  — paper gives Nt = 10 s and a garbled size.
+//  3. route cache capacity      — "stale entries stay forever" requires
+//                                 caches big enough for entries to linger;
+//                                 small FIFO caches mask the disease.
+//  4. expiry "use" semantics    — whether originating over a route counts
+//                                 as using it (the paper's wording says no,
+//                                 and that is what makes tiny timeouts
+//                                 expensive).
+#include <cstdio>
+#include <string>
+
+#include "src/core/dsr_config.h"
+#include "src/scenario/experiment.h"
+#include "src/scenario/table.h"
+
+using namespace manet;
+using scenario::Table;
+
+namespace {
+
+scenario::AggregateResult run(const scenario::ScenarioConfig& cfg, int reps) {
+  return scenario::runReplicated(cfg, reps);
+}
+
+std::vector<std::string> row(const std::string& label,
+                             const scenario::AggregateResult& agg) {
+  return {label, Table::num(agg.deliveryFraction.mean(), 3),
+          Table::num(agg.avgDelaySec.mean(), 3),
+          Table::num(agg.normalizedOverhead.mean(), 2),
+          Table::num(agg.goodReplyPct.mean(), 1),
+          Table::num(agg.invalidCacheHitPct.mean(), 1)};
+}
+
+const std::vector<std::string> kHeader{"setting", "delivery", "delay_s",
+                                       "overhead", "good_pct", "invalid_pct"};
+
+}  // namespace
+
+int main() {
+  const scenario::BenchScale scale = scenario::benchScale();
+  scenario::ScenarioConfig base = scenario::paperScenario(scale);
+  const int reps = scale.replications;
+  std::printf("Ablations — %d nodes, %d flows, %.0f s, %d seeds%s\n",
+              base.numNodes, base.numFlows, base.duration.toSeconds(), reps,
+              scale.full ? " (full scale)" : "");
+
+  {  // 1. adaptive alpha
+    Table t(kHeader);
+    for (double alpha : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+      scenario::ScenarioConfig cfg = base;
+      cfg.dsr = core::makeVariantConfig(core::Variant::kAdaptiveExpiry);
+      cfg.dsr.adaptiveAlpha = alpha;
+      std::printf("  alpha=%.1f...\n", alpha);
+      t.addRow(row("alpha=" + Table::num(alpha, 1), run(cfg, reps)));
+    }
+    t.print("Ablation 1 — adaptive timeout alpha", "ablation_alpha.csv");
+  }
+
+  {  // 2. negative cache size and Nt
+    Table t(kHeader);
+    struct Knob {
+      std::size_t cap;
+      double nt;
+    };
+    for (Knob k : {Knob{16, 10}, Knob{64, 10}, Knob{256, 10}, Knob{64, 3},
+                   Knob{64, 30}}) {
+      scenario::ScenarioConfig cfg = base;
+      cfg.dsr = core::makeVariantConfig(core::Variant::kNegCache);
+      cfg.dsr.negCacheCapacity = k.cap;
+      cfg.dsr.negCacheTtl = sim::Time::fromSeconds(k.nt);
+      std::printf("  negcache cap=%zu Nt=%.0fs...\n", k.cap, k.nt);
+      t.addRow(row("cap=" + std::to_string(k.cap) +
+                       ",Nt=" + Table::num(k.nt, 0),
+                   run(cfg, reps)));
+    }
+    t.print("Ablation 2 — negative cache size / Nt", "ablation_negcache.csv");
+  }
+
+  {  // 3. route cache capacity (base DSR)
+    Table t(kHeader);
+    for (std::size_t cap : {32u, 64u, 128u, 256u, 1024u}) {
+      scenario::ScenarioConfig cfg = base;
+      cfg.dsr = core::makeVariantConfig(core::Variant::kBase);
+      cfg.dsr.routeCacheCapacity = cap;
+      std::printf("  route cache capacity=%zu...\n", (size_t)cap);
+      t.addRow(row("capacity=" + std::to_string(cap), run(cfg, reps)));
+    }
+    t.print("Ablation 3 — route cache capacity (base DSR)",
+            "ablation_capacity.csv");
+  }
+
+  {  // 4. cache structure: the paper's path cache vs Hu & Johnson's link
+     //    cache, under base DSR and under ALL (footnote 1 of the paper).
+    Table t(kHeader);
+    for (core::CacheStructure s :
+         {core::CacheStructure::kPath, core::CacheStructure::kLink}) {
+      for (core::Variant v : {core::Variant::kBase, core::Variant::kAll}) {
+        scenario::ScenarioConfig cfg = base;
+        cfg.dsr = core::makeVariantConfig(v);
+        cfg.dsr.cacheStructure = s;
+        // A link cache stores individual links, not whole paths: give it a
+        // comparable information budget.
+        cfg.dsr.routeCacheCapacity =
+            s == core::CacheStructure::kLink ? 512 : 128;
+        std::printf("  %s cache, %s...\n", core::toString(s),
+                    core::toString(v));
+        t.addRow(row(std::string(core::toString(s)) + "+" +
+                         core::toString(v),
+                     run(cfg, reps)));
+      }
+    }
+    t.print("Ablation 4 — cache structure (path vs link)",
+            "ablation_structure.csv");
+  }
+
+  {  // 5. freshness tagging (the paper's future work) on top of ALL
+    Table t(kHeader);
+    for (bool fresh : {false, true}) {
+      scenario::ScenarioConfig cfg = base;
+      cfg.dsr = core::makeVariantConfig(core::Variant::kAll);
+      cfg.dsr.freshnessTagging = fresh;
+      std::printf("  ALL, freshness=%d...\n", fresh);
+      t.addRow(row(fresh ? "ALL + freshness tags" : "ALL", run(cfg, reps)));
+    }
+    t.print("Ablation 5 — route freshness tagging (future-work extension)",
+            "ablation_freshness.csv");
+  }
+
+  {  // 6. expiry use semantics at a small timeout
+    Table t(kHeader);
+    for (bool countsOrigination : {false, true}) {
+      scenario::ScenarioConfig cfg = base;
+      cfg.dsr = core::makeVariantConfig(core::Variant::kStaticExpiry,
+                                        sim::Time::fromSeconds(1));
+      cfg.dsr.expiryCountsOrigination = countsOrigination;
+      std::printf("  T=1s, origination-counts=%d...\n", countsOrigination);
+      t.addRow(row(countsOrigination ? "T=1s, origination counts"
+                                     : "T=1s, forwarded-only (paper)",
+                   run(cfg, reps)));
+    }
+    t.print("Ablation 6 — expiry 'use' semantics at T=1s",
+            "ablation_use_semantics.csv");
+  }
+  return 0;
+}

@@ -1,0 +1,144 @@
+// Microbenchmarks (google-benchmark): hot-path costs of the simulator —
+// cache operations, scheduler throughput, mobility queries and a whole
+// small simulation measured in simulated-events per second.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "src/core/negative_cache.h"
+#include "src/core/route_cache.h"
+#include "src/mobility/waypoint.h"
+#include "src/scenario/scenario.h"
+#include "src/sim/rng.h"
+#include "src/sim/scheduler.h"
+
+namespace {
+
+using namespace manet;
+
+void BM_SchedulerScheduleRun(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    std::uint64_t sum = 0;
+    for (int i = 0; i < n; ++i) {
+      sched.scheduleAt(sim::Time::micros(i), [&sum] { ++sum; });
+    }
+    sched.run();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SchedulerScheduleRun)->Arg(1000)->Arg(100000);
+
+void BM_RouteCacheInsert(benchmark::State& state) {
+  sim::Rng rng(1);
+  std::vector<std::vector<net::NodeId>> paths;
+  for (int i = 0; i < 256; ++i) {
+    std::vector<net::NodeId> p{0};
+    const int len = static_cast<int>(rng.uniformInt(1, 8));
+    for (int j = 0; j < len; ++j) {
+      net::NodeId next;
+      do {
+        next = static_cast<net::NodeId>(rng.uniformInt(1, 100));
+      } while (std::find(p.begin(), p.end(), next) != p.end());
+      p.push_back(next);
+    }
+    paths.push_back(std::move(p));
+  }
+  core::RouteCache cache(0, 128);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    cache.insert(paths[i % paths.size()], sim::Time::micros(++i));
+    benchmark::DoNotOptimize(cache.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RouteCacheInsert);
+
+void BM_RouteCacheFindRoute(benchmark::State& state) {
+  sim::Rng rng(2);
+  core::RouteCache cache(0, 128);
+  for (int i = 0; i < 128; ++i) {
+    std::vector<net::NodeId> p{0};
+    for (int j = 0; j < 6; ++j) {
+      p.push_back(static_cast<net::NodeId>(1 + i * 7 + j));
+    }
+    cache.insert(p, sim::Time::zero());
+  }
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    auto r = cache.findRoute(static_cast<net::NodeId>(1 + (i++ % 800)));
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RouteCacheFindRoute);
+
+void BM_RouteCacheRemoveLink(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::RouteCache cache(0, 128);
+    for (int i = 0; i < 128; ++i) {
+      cache.insert(std::vector<net::NodeId>{0, 1, static_cast<net::NodeId>(
+                                                       2 + i)},
+                   sim::Time::zero());
+    }
+    state.ResumeTiming();
+    auto affected = cache.removeLink(net::LinkId{0, 1}, sim::Time::zero());
+    benchmark::DoNotOptimize(affected);
+  }
+}
+BENCHMARK(BM_RouteCacheRemoveLink);
+
+void BM_NegativeCacheOps(benchmark::State& state) {
+  core::NegativeCache neg(64, sim::Time::seconds(10));
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const auto now = sim::Time::millis(static_cast<std::int64_t>(i));
+    neg.insert(net::LinkId{static_cast<net::NodeId>(i % 100),
+                           static_cast<net::NodeId>((i + 1) % 100)},
+               now);
+    benchmark::DoNotOptimize(
+        neg.contains(net::LinkId{static_cast<net::NodeId>((i / 2) % 100),
+                                 static_cast<net::NodeId>((i / 2 + 1) % 100)},
+                     now));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NegativeCacheOps);
+
+void BM_WaypointPositionQuery(benchmark::State& state) {
+  mobility::RandomWaypoint::Params p;
+  p.horizon = sim::Time::seconds(500);
+  mobility::RandomWaypoint wp(sim::Rng(7), p);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        wp.positionAt(sim::Time::millis(static_cast<std::int64_t>(
+            (i++ * 37) % 500000))));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WaypointPositionQuery);
+
+void BM_SmallSimulationEventsPerSec(benchmark::State& state) {
+  for (auto _ : state) {
+    scenario::ScenarioConfig cfg;
+    cfg.numNodes = 20;
+    cfg.field = {800.0, 400.0};
+    cfg.numFlows = 5;
+    cfg.packetsPerSecond = 2.0;
+    cfg.duration = sim::Time::seconds(10);
+    cfg.mobilitySeed = 3;
+    const scenario::RunResult r = scenario::runScenario(cfg);
+    state.counters["events"] = static_cast<double>(r.eventsExecuted);
+    benchmark::DoNotOptimize(r.metrics.dataDelivered);
+  }
+}
+BENCHMARK(BM_SmallSimulationEventsPerSec)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

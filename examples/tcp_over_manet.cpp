@@ -1,0 +1,56 @@
+// A reliable file-transfer-style session over a mobile ad hoc network,
+// showing the transport extension's public API and why cache correctness
+// matters for feedback-controlled traffic.
+//
+//   $ ./tcp_over_manet [segments] [seconds]
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "src/core/dsr_config.h"
+#include "src/scenario/scenario.h"
+#include "src/transport/reliable.h"
+
+int main(int argc, char** argv) {
+  using namespace manet;
+
+  const auto segments =
+      static_cast<std::uint64_t>(argc > 1 ? std::atoll(argv[1]) : 2000);
+  const auto seconds = argc > 2 ? std::atoll(argv[2]) : 120;
+
+  for (core::Variant v : {core::Variant::kBase, core::Variant::kAll}) {
+    scenario::ScenarioConfig cfg;
+    cfg.numNodes = 50;
+    cfg.field = {1500.0, 500.0};
+    cfg.numFlows = 8;  // CBR background load
+    cfg.packetsPerSecond = 2.0;
+    cfg.duration = sim::Time::seconds(seconds);
+    cfg.pause = sim::Time::zero();
+    cfg.mobilitySeed = 9;
+    cfg.dsr = core::makeVariantConfig(v);
+
+    scenario::Scenario s(cfg);
+    net::Network& net = s.network();
+
+    // One bulk transfer across the field: node 0 -> node 49.
+    transport::ReliableReceiver rx(net.node(49).dsr(), /*connId=*/1);
+    transport::ReliableSender tx(net.node(0).dsr(), net.scheduler(), 49, 1,
+                                 segments);
+    net.scheduler().scheduleAt(sim::Time::millis(100),
+                               [&tx] { tx.start(); });
+    s.run();
+
+    std::printf(
+        "%-14s goodput %6.1f kb/s | %llu/%llu segments acked | "
+        "%llu retransmissions, %llu RTO timeouts | cwnd %.1f\n",
+        core::toString(v), tx.goodputKbps(net.scheduler().now()),
+        static_cast<unsigned long long>(tx.acked()),
+        static_cast<unsigned long long>(segments),
+        static_cast<unsigned long long>(tx.retransmissions()),
+        static_cast<unsigned long long>(tx.timeouts()), tx.cwnd());
+  }
+  std::printf(
+      "\nStale caches translate into TCP losses and window collapses —\n"
+      "the ALL variant should show higher goodput and fewer timeouts.\n");
+  return 0;
+}

@@ -1,0 +1,30 @@
+// AODV configuration (RFC 3561 subset, link-layer feedback mode).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/sim/time.h"
+
+namespace manet::aodv {
+
+struct AodvConfig {
+  /// Route lifetime; refreshed whenever the route carries traffic.
+  sim::Time activeRouteTimeout = sim::Time::seconds(10);
+  /// How long to wait for a route reply before retrying the request.
+  sim::Time discoveryTimeout = sim::Time::seconds(1);
+  /// Binary-exponential backoff cap for repeated discoveries.
+  sim::Time discoveryBackoffMax = sim::Time::seconds(10);
+  std::uint8_t maxRequestTtl = 64;
+  /// Per-hop rebroadcast jitter, breaking flood synchronization.
+  sim::Time broadcastJitterMax = sim::Time::millis(10);
+  /// Intermediate nodes with a fresh-enough route answer requests (AODV's
+  /// indirect form of caching; disable to force destination-only replies).
+  bool intermediateReplies = true;
+  std::size_t sendBufferCapacity = 64;
+  sim::Time sendBufferTimeout = sim::Time::seconds(30);
+  /// Period of the route-table expiry sweep.
+  sim::Time expirySweepPeriod = sim::Time::millis(500);
+};
+
+}  // namespace manet::aodv

@@ -1,0 +1,21 @@
+#include "src/core/adaptive_timeout.h"
+
+#include <algorithm>
+
+namespace manet::core {
+
+void AdaptiveTimeout::onRouteBreak(sim::Time addedAt, sim::Time now) {
+  const double lifetime = std::max(0.0, (now - addedAt).toSeconds());
+  lifetimeSumSec_ += lifetime;
+  ++samples_;
+  lastBreakAt_ = now;
+}
+
+sim::Time AdaptiveTimeout::timeout(sim::Time now) const {
+  const sim::Time sinceBreak = now - lastBreakAt_;
+  const sim::Time fromLifetime =
+      sim::Time::fromSeconds(alpha_ * avgRouteLifetimeSec());
+  return std::max({fromLifetime, sinceBreak, minTimeout_});
+}
+
+}  // namespace manet::core

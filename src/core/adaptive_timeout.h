@@ -1,0 +1,53 @@
+// Adaptive timeout selection for timer-based route expiry (Section 3).
+//
+// Each node picks its expiry timeout T locally from observed route
+// stability:
+//
+//     T = max(alpha * avg_route_lifetime, time_since_last_link_break)
+//
+// A broken route's lifetime is the elapsed time since it entered the cache;
+// the average runs over all breaks seen so far. The second term corrects T
+// upward during quiet periods: if breaks come in bursts separated by long
+// stable stretches, the lifetime average alone would keep expiring perfectly
+// good routes. T is clamped below (1 s) and recomputed periodically (every
+// 0.5 s in the paper).
+#pragma once
+
+#include <cstdint>
+
+#include "src/sim/time.h"
+
+namespace manet::core {
+
+class AdaptiveTimeout {
+ public:
+  AdaptiveTimeout(double alpha, sim::Time minTimeout)
+      : alpha_(alpha), minTimeout_(minTimeout) {}
+
+  /// Record that a cached route added at `addedAt` broke at `now` (link
+  /// layer feedback or route error).
+  void onRouteBreak(sim::Time addedAt, sim::Time now);
+
+  /// Record a link break without an associated cached-route lifetime (e.g.
+  /// an error about a link we never cached); only refreshes the last-break
+  /// clock.
+  void onLinkBreak(sim::Time now) { lastBreakAt_ = now; }
+
+  /// Current timeout value. Before any break is observed there is nothing to
+  /// adapt to, so T grows with time-since-start (effectively no expiry).
+  sim::Time timeout(sim::Time now) const;
+
+  double avgRouteLifetimeSec() const {
+    return samples_ == 0 ? 0.0 : lifetimeSumSec_ / static_cast<double>(samples_);
+  }
+  std::uint64_t sampleCount() const { return samples_; }
+
+ private:
+  double alpha_;
+  sim::Time minTimeout_;
+  double lifetimeSumSec_ = 0.0;
+  std::uint64_t samples_ = 0;
+  sim::Time lastBreakAt_ = sim::Time::zero();
+};
+
+}  // namespace manet::core

@@ -1,0 +1,66 @@
+// Abstract route-cache structure.
+//
+// The paper (footnote 1, and the contrast with Hu & Johnson's MobiCom'00
+// study) distinguishes two cache organizations:
+//   * PATH caches — a set of complete source routes, each starting at the
+//     caching node (what the CMU ns-2 DSR and this paper use); and
+//   * LINK caches — individual links assembled into a graph, with routes
+//     found by shortest-path search.
+// Both are implemented here behind one interface so every caching technique
+// (expiry, wider errors, negative caches) composes with either structure;
+// bench/ablation_knobs compares them.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/net/packet.h"
+#include "src/sim/time.h"
+
+namespace manet::core {
+
+class RouteCacheBase {
+ public:
+  /// Predicate over links; findRoute must not return a route using a
+  /// rejected link (negative-cache mutual exclusion).
+  using LinkFilter = std::function<bool(net::LinkId)>;
+
+  virtual ~RouteCacheBase() = default;
+
+  /// Learn a route (hops.front() must be the owning node, length >= 2,
+  /// loop-free). Returns true if any information was stored/refreshed.
+  virtual bool insert(std::span<const net::NodeId> hops, sim::Time now) = 0;
+
+  /// Best-known route from the owner to `dest`, or nullopt.
+  virtual std::optional<std::vector<net::NodeId>> findRoute(
+      net::NodeId dest, const LinkFilter& acceptLink = {}) const = 0;
+
+  /// True if the directed link is part of any cached information.
+  virtual bool containsLink(net::LinkId link) const = 0;
+
+  /// Remove a broken link. Returns the addedAt times of the affected
+  /// cached routes/links — route-lifetime samples for the adaptive timeout.
+  virtual std::vector<sim::Time> removeLink(net::LinkId link,
+                                            sim::Time now) = 0;
+
+  /// Refresh last-used stamps for every link of `route` (timer-based
+  /// expiry bookkeeping).
+  virtual void markLinksUsed(std::span<const net::NodeId> route,
+                             sim::Time now) = 0;
+
+  /// Timer-based expiry: drop link state unused since `cutoff`. Returns
+  /// the number of links pruned.
+  virtual std::size_t expireUnusedSince(sim::Time cutoff) = 0;
+
+  virtual void clear() = 0;
+  /// Number of stored entries (paths or links, structure-dependent).
+  virtual std::size_t size() const = 0;
+};
+
+enum class CacheStructure { kPath, kLink };
+
+const char* toString(CacheStructure s);
+
+}  // namespace manet::core

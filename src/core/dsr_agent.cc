@@ -1,0 +1,767 @@
+#include "src/core/dsr_agent.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/core/link_cache.h"
+#include "src/core/route_cache.h"
+#include "src/util/logging.h"
+
+namespace manet::core {
+namespace {
+
+constexpr std::size_t kSeenTableCapacity = 4096;
+/// Minimum spacing between gratuitous (route-shortening) replies to the
+/// same route source.
+constexpr sim::Time kGratReplyHoldoff = sim::Time::seconds(1);
+
+std::uint64_t seenKey(net::NodeId a, std::uint32_t b) {
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+std::vector<net::NodeId> reversed(std::span<const net::NodeId> hops) {
+  return {hops.rbegin(), hops.rend()};
+}
+
+std::unique_ptr<RouteCacheBase> makeCache(CacheStructure s, net::NodeId self,
+                                          std::size_t capacity) {
+  if (s == CacheStructure::kLink) {
+    return std::make_unique<LinkCache>(self, capacity);
+  }
+  return std::make_unique<RouteCache>(self, capacity);
+}
+
+}  // namespace
+
+DsrAgent::DsrAgent(net::NodeId self, mac::DcfMac& mac, sim::Scheduler& sched,
+                   sim::Rng rng, const DsrConfig& cfg,
+                   metrics::Metrics* metrics,
+                   const metrics::LinkOracle* oracle)
+    : self_(self),
+      mac_(mac),
+      sched_(sched),
+      rng_(std::move(rng)),
+      cfg_(cfg),
+      metrics_(metrics),
+      oracle_(oracle),
+      cache_(makeCache(cfg.cacheStructure, self, cfg.routeCacheCapacity)),
+      neg_(cfg.negCacheCapacity, cfg.negCacheTtl),
+      adaptive_(cfg.adaptiveAlpha, cfg.adaptiveMinTimeout),
+      sendBuf_(cfg.sendBufferCapacity, cfg.sendBufferTimeout) {
+  mac_.setHandlers(mac::DcfMac::Handlers{
+      .receive = [this](net::PacketPtr p,
+                        net::NodeId from) { onReceive(std::move(p), from); },
+      .promiscuousTap = [this](const mac::Frame& f) { onTap(f); },
+      .sendFailed =
+          [this](net::PacketPtr p, net::NodeId nextHop) {
+            onSendFailed(std::move(p), nextHop);
+          },
+      .sendOk = nullptr,
+  });
+  if (cfg_.expiry != ExpiryMode::kNone) {
+    sched_.scheduleAfter(cfg_.expiryCheckPeriod, [this] { periodicExpiry(); });
+  }
+  sched_.scheduleAfter(sim::Time::seconds(1), [this] { periodicBufferSweep(); });
+}
+
+sim::Time DsrAgent::currentExpiryTimeout() const {
+  switch (cfg_.expiry) {
+    case ExpiryMode::kNone:
+      return sim::Time::max();
+    case ExpiryMode::kStatic:
+      return cfg_.staticTimeout;
+    case ExpiryMode::kAdaptive:
+      return adaptive_.timeout(sched_.now());
+  }
+  return sim::Time::max();
+}
+
+// ---------------------------------------------------------------- sending
+
+void DsrAgent::sendData(net::NodeId dst, std::uint32_t payloadBytes,
+                        std::uint32_t flowId, std::uint64_t seqInFlow) {
+  if (metrics_) ++metrics_->dataOriginated;
+  auto p = net::Packet::make();
+  p->kind = net::PacketKind::kData;
+  p->src = self_;
+  p->dst = dst;
+  p->payloadBytes = payloadBytes;
+  p->originatedAt = sched_.now();
+  p->flowId = flowId;
+  p->seqInFlow = seqInFlow;
+
+  auto route = lookupRoute(dst);
+  if (route) {
+    recordCacheHit(*route);
+    p->route = net::SourceRoute{std::move(*route), 0};
+    transmitAlongRoute(std::move(p));
+    return;
+  }
+  auto evicted = sendBuf_.push(std::move(p), dst, sched_.now());
+  if (metrics_) metrics_->dropSendBufferOverflow += evicted.size();
+  startDiscovery(dst);
+}
+
+void DsrAgent::sendPacket(std::shared_ptr<net::Packet> p) {
+  assert(p->kind == net::PacketKind::kData && p->src == self_);
+  if (metrics_) ++metrics_->dataOriginated;
+  p->originatedAt = sched_.now();
+  const net::NodeId dst = p->dst;
+  auto route = lookupRoute(dst);
+  if (route) {
+    recordCacheHit(*route);
+    p->route = net::SourceRoute{std::move(*route), 0};
+    transmitAlongRoute(std::move(p));
+    return;
+  }
+  auto evicted = sendBuf_.push(std::move(p), dst, sched_.now());
+  if (metrics_) metrics_->dropSendBufferOverflow += evicted.size();
+  startDiscovery(dst);
+}
+
+void DsrAgent::transmitAlongRoute(std::shared_ptr<net::Packet> p) {
+  assert(p->route && !p->route->atDestination());
+  assert(p->route->hops[p->route->cursor] == self_);
+  // Timer-based expiry "use" semantics, per the paper: the timestamp is
+  // refreshed when a route is seen in a unicast packet *forwarded by the
+  // node* (cursor > 0). Origination does not count unless the config says
+  // so — this is what makes tiny timeouts expensive (the source re-discovers
+  // its own active route every T), reproducing the paper's Fig. 1 shape.
+  if (p->route->cursor > 0 || cfg_.expiryCountsOrigination) {
+    cache_->markLinksUsed(p->route->hops, sched_.now());
+  }
+  const net::NodeId nextHop = p->route->nextHop();
+  auto sent = net::clone(*p);
+  ++sent->route->cursor;  // cursor points at the receiver while in flight
+  const bool priority = sent->kind != net::PacketKind::kData;
+  mac_.send(std::move(sent), nextHop, priority);
+}
+
+// ---------------------------------------------------------------- receive
+
+void DsrAgent::onReceive(net::PacketPtr p, net::NodeId from) {
+  // Hearing a neighbor is positive evidence the link to it works: lift any
+  // (possibly congestion-induced) quarantine.
+  if (cfg_.negativeCache) neg_.erase(net::LinkId{self_, from});
+  switch (p->kind) {
+    case net::PacketKind::kData:
+      handleData(p);
+      break;
+    case net::PacketKind::kRouteRequest:
+      handleRequest(p, from);
+      break;
+    case net::PacketKind::kRouteReply:
+      handleReply(p);
+      break;
+    case net::PacketKind::kRouteError:
+      if (p->route) {
+        handleErrorUnicast(p);
+      } else {
+        handleErrorBroadcast(p);
+      }
+      break;
+  }
+}
+
+void DsrAgent::handleData(const net::PacketPtr& p) {
+  assert(p->route);
+  const auto& hops = p->route->hops;
+  if (p->route->hops[p->route->cursor] != self_) return;  // stale delivery
+
+  // Forwarding a unicast source-routed packet: refresh link usage stamps
+  // (timer-based expiry) and remember the links for the wider-error
+  // rebroadcast predicate.
+  cache_->markLinksUsed(hops, sched_.now());
+  for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
+    forwardedLinks_[net::LinkId{hops[i], hops[i + 1]}] = sched_.now();
+  }
+
+  if (p->route->atDestination()) {
+    if (metrics_) {
+      ++metrics_->dataDelivered;
+      metrics_->bytesDelivered += p->payloadBytes;
+      metrics_->delaySumSec += (sched_.now() - p->originatedAt).toSeconds();
+    }
+    // The destination also learns the (reversed) route back to the source.
+    cacheRoute(reversed(hops));
+    for (const DeliveryHandler& h : deliveryHandlers_) h(*p);
+    return;
+  }
+
+  // A forwarding node caches the rest of the route it is relaying.
+  cacheRoute(std::span<const net::NodeId>(hops).subspan(p->route->cursor));
+
+  forwardData(p);
+}
+
+void DsrAgent::forwardData(const net::PacketPtr& p) {
+  const auto& hops = p->route->hops;
+  // Negative cache rule: never forward over a link known to be broken —
+  // drop and report instead, so the stale route is purged at the source.
+  if (cfg_.negativeCache) {
+    for (std::size_t i = p->route->cursor; i + 1 < hops.size(); ++i) {
+      const net::LinkId link{hops[i], hops[i + 1]};
+      if (neg_.contains(link, sched_.now())) {
+        if (metrics_) ++metrics_->dropNegativeCache;
+        originateError(link, p.get());
+        return;
+      }
+    }
+  }
+  transmitAlongRoute(net::clone(*p));
+}
+
+// ---------------------------------------------------------- route requests
+
+void DsrAgent::handleRequest(const net::PacketPtr& p, net::NodeId from) {
+  assert(p->rreq);
+  const net::RouteRequestHdr& req = *p->rreq;
+  if (req.origin == self_) return;
+
+  // Gratuitous route repair: the origin piggybacked a recent route error.
+  if (req.piggybackedError) noteBrokenLink(*req.piggybackedError);
+
+  // Loop check: we are already on the accumulated path.
+  if (std::find(req.path.begin(), req.path.end(), self_) != req.path.end()) {
+    return;
+  }
+
+  // Learn the reverse route back to the origin (links are bidirectional
+  // under 802.11's RTS/CTS/ACK handshake).
+  {
+    std::vector<net::NodeId> back;
+    back.reserve(req.path.size() + 1);
+    back.push_back(self_);
+    back.insert(back.end(), req.path.rbegin(), req.path.rend());
+    cacheRoute(back);
+  }
+
+  // The target answers every copy of the request (that is how the origin
+  // learns multiple disjoint routes), and never propagates it.
+  if (req.target == self_) {
+    std::vector<net::NodeId> full = req.path;
+    full.push_back(self_);
+    if (metrics_) ++metrics_->targetRepliesGenerated;
+    // Freshness tagging: the target certifies this reply as the newest
+    // word on routes to itself.
+    const std::uint32_t stamp =
+        cfg_.freshnessTagging ? ++ownFreshness_ : 0;
+    sendReply(full, reversed(full), /*fromCache=*/false, stamp);
+    return;
+  }
+
+  if (requestSeen(req.origin, req.id)) return;
+  rememberRequest(req.origin, req.id);
+
+  // Reply from cache: quenches the flood at this node.
+  if (cfg_.replyFromCache) {
+    if (auto cached = lookupRoute(req.target)) {
+      std::vector<net::NodeId> full = req.path;
+      full.insert(full.end(), cached->begin(), cached->end());
+      if (!net::routeHasDuplicates(full)) {
+        recordCacheHit(*cached);
+        if (metrics_) ++metrics_->cacheRepliesGenerated;
+        std::vector<net::NodeId> back = req.path;
+        back.push_back(self_);
+        // A cached reply can only vouch for the freshness it learned.
+        std::uint32_t stamp = 0;
+        if (cfg_.freshnessTagging) {
+          auto it = freshestSeen_.find(req.target);
+          if (it != freshestSeen_.end()) stamp = it->second;
+        }
+        sendReply(std::move(full), reversed(back), /*fromCache=*/true,
+                  stamp);
+        return;
+      }
+    }
+  }
+
+  if (req.ttl <= 1) return;  // non-propagating request dies here
+
+  // Rebroadcast with ourselves appended, after a small jitter that breaks
+  // flood synchronization.
+  auto fwd = net::clone(*p);
+  fwd->rreq->path.push_back(self_);
+  fwd->rreq->ttl = req.ttl - 1;
+  const auto jitter = sim::Time::nanos(rng_.uniformInt(
+      0, std::max<std::int64_t>(1, cfg_.broadcastJitterMax.ns())));
+  sched_.scheduleAfter(jitter, [this, fwd = std::move(fwd)] {
+    mac_.send(fwd, net::kBroadcast, /*priority=*/true);
+  });
+}
+
+void DsrAgent::sendReply(std::vector<net::NodeId> fullRoute,
+                         std::vector<net::NodeId> backPath, bool fromCache,
+                         std::uint32_t freshness) {
+  assert(backPath.front() == self_);
+  auto p = net::Packet::make();
+  p->kind = net::PacketKind::kRouteReply;
+  p->src = self_;
+  p->dst = backPath.back();
+  p->originatedAt = sched_.now();
+  p->rrep = net::RouteReplyHdr{std::move(fullRoute), self_, fromCache,
+                               freshness};
+  if (backPath.size() == 1) {
+    // Degenerate case: replying to ourselves (cannot happen in practice —
+    // the origin never processes its own request).
+    return;
+  }
+  p->route = net::SourceRoute{std::move(backPath), 0};
+  transmitAlongRoute(std::move(p));
+}
+
+void DsrAgent::handleReply(const net::PacketPtr& p) {
+  assert(p->rrep && p->route);
+  if (p->route->hops[p->route->cursor] != self_) return;
+
+  const auto& reported = p->rrep->route;
+
+  // Freshness tagging: ignore reply routes that are provably older than
+  // information we already hold about this destination.
+  if (cfg_.freshnessTagging && !reported.empty()) {
+    const net::NodeId target = reported.back();
+    auto [it, inserted] =
+        freshestSeen_.try_emplace(target, p->rrep->freshness);
+    if (!inserted) {
+      if (p->rrep->freshness < it->second) {
+        if (metrics_) ++metrics_->staleRepliesIgnored;
+        // Still forward the reply toward its requester (it may know even
+        // less than we do), but learn nothing from it ourselves.
+        if (!p->route->atDestination()) transmitAlongRoute(net::clone(*p));
+        return;
+      }
+      it->second = p->rrep->freshness;
+    }
+  }
+
+  if (p->route->atDestination()) {
+    // We are the original requester: cache the route and measure its
+    // quality (the paper's "good replies" metric).
+    if (metrics_) {
+      ++metrics_->repliesReceived;
+      if (oracle_ == nullptr || oracle_->routeValid(reported, sched_.now())) {
+        ++metrics_->goodRepliesReceived;
+      }
+    }
+    if (!reported.empty() && reported.front() == self_) {
+      // A reply generated by the target itself is fresher evidence than any
+      // quarantined break (the request just traversed the network): lift
+      // the quarantine on its links. Replies served from intermediate
+      // caches stay subject to the negative cache — they are exactly the
+      // potentially-stale information it exists to filter.
+      if (cfg_.negativeCache && !p->rrep->fromCache) {
+        for (std::size_t i = 0; i + 1 < reported.size(); ++i) {
+          neg_.erase(net::LinkId{reported[i], reported[i + 1]});
+        }
+      }
+      cacheRoute(reported);
+      endDiscovery(reported.back());
+    }
+    drainSendBuffer();
+    return;
+  }
+
+  // Intermediate reply forwarder: learn the reported route's suffix that
+  // starts at us, if any.
+  auto it = std::find(reported.begin(), reported.end(), self_);
+  if (it != reported.end()) {
+    cacheRoute(std::span<const net::NodeId>(&*it,
+                                            static_cast<std::size_t>(
+                                                reported.end() - it)));
+  }
+  transmitAlongRoute(net::clone(*p));
+}
+
+// ------------------------------------------------------------- discovery
+
+void DsrAgent::startDiscovery(net::NodeId target) {
+  DiscoveryState& st = discovery_[target];
+  if (st.active) return;
+  st.active = true;
+  st.backoff = cfg_.requestBackoffInitial;
+  if (metrics_) ++metrics_->routeDiscoveriesStarted;
+
+  if (cfg_.nonPropagatingRequests) {
+    if (metrics_) ++metrics_->nonPropRequestsSent;
+    sendRequest(target, /*ttl=*/1);
+    st.pendingEvent = sched_.scheduleAfter(
+        cfg_.nonPropRequestTimeout, [this, target] { onDiscoveryTimeout(target); });
+  } else {
+    onDiscoveryTimeout(target);  // go straight to a flood
+  }
+}
+
+void DsrAgent::onDiscoveryTimeout(net::NodeId target) {
+  DiscoveryState& st = discovery_[target];
+  st.pendingEvent = sim::kInvalidEvent;
+  if (!st.active) return;
+  // A route may have arrived via snooping rather than a reply.
+  if (lookupRoute(target)) {
+    endDiscovery(target);
+    drainSendBuffer();
+    return;
+  }
+  if (!sendBuf_.hasPacketsFor(target)) {
+    endDiscovery(target);  // nothing left to send; stop asking
+    return;
+  }
+  if (metrics_) ++metrics_->floodRequestsSent;
+  sendRequest(target, cfg_.maxRequestTtl);
+  st.pendingEvent = sched_.scheduleAfter(
+      st.backoff, [this, target] { onDiscoveryTimeout(target); });
+  st.backoff = std::min(st.backoff + st.backoff, cfg_.requestBackoffMax);
+}
+
+void DsrAgent::sendRequest(net::NodeId target, std::uint8_t ttl) {
+  DiscoveryState& st = discovery_[target];
+  auto p = net::Packet::make();
+  p->kind = net::PacketKind::kRouteRequest;
+  p->src = self_;
+  p->dst = net::kBroadcast;
+  p->originatedAt = sched_.now();
+  p->rreq = net::RouteRequestHdr{
+      .origin = self_,
+      .target = target,
+      .id = st.nextId++,
+      .ttl = ttl,
+      .path = {self_},
+      .piggybackedError = std::nullopt,
+  };
+  if (cfg_.gratuitousRepair && pendingRepairError_) {
+    p->rreq->piggybackedError = *pendingRepairError_;
+    pendingRepairError_.reset();
+  }
+  mac_.send(std::move(p), net::kBroadcast, /*priority=*/true);
+}
+
+void DsrAgent::endDiscovery(net::NodeId target) {
+  auto it = discovery_.find(target);
+  if (it == discovery_.end()) return;
+  sched_.cancel(it->second.pendingEvent);
+  it->second.pendingEvent = sim::kInvalidEvent;
+  it->second.active = false;
+}
+
+void DsrAgent::drainSendBuffer() {
+  // Try every buffered destination against the (possibly just updated)
+  // cache; send what has become routable.
+  for (net::NodeId target : sendBuf_.destinations()) {
+    auto route = lookupRoute(target);
+    if (!route) continue;
+    for (auto& entry : sendBuf_.takeForDest(target)) {
+      recordCacheHit(*route);
+      auto p = net::clone(*entry.packet);
+      p->route = net::SourceRoute{*route, 0};
+      transmitAlongRoute(std::move(p));
+    }
+    endDiscovery(target);
+  }
+}
+
+// ------------------------------------------------------------------ errors
+
+void DsrAgent::onSendFailed(net::PacketPtr p, net::NodeId nextHop) {
+  const net::LinkId broken{self_, nextHop};
+  if (metrics_) {
+    ++metrics_->linkBreaksDetected;
+    if (oracle_ != nullptr && oracle_->linkValid(self_, nextHop, sched_.now())) {
+      ++metrics_->fakeLinkBreaks;  // congestion, not mobility
+    }
+  }
+  noteBrokenLink(broken);
+
+  // Flush queued packets that would use the same dead link, as ns-2 does.
+  std::vector<mac::QueuedPacket> purged = mac_.purgeNextHop(nextHop);
+
+  // The packet whose transmission failed.
+  if (p->kind == net::PacketKind::kData) {
+    originateError(broken, p.get());
+    if (!trySalvage(*p, broken)) {
+      if (metrics_) ++metrics_->dropLinkFailNoSalvage;
+    }
+  }
+  for (const mac::QueuedPacket& qp : purged) {
+    if (qp.packet->kind != net::PacketKind::kData) continue;
+    if (!trySalvage(*qp.packet, broken)) {
+      if (metrics_) ++metrics_->dropLinkFailNoSalvage;
+    }
+  }
+}
+
+bool DsrAgent::trySalvage(const net::Packet& failed, net::LinkId broken) {
+  if (!cfg_.salvaging) return false;
+  if (failed.salvageCount >= cfg_.maxSalvageCount) return false;
+  if (!failed.route) return false;
+  const net::NodeId dest = failed.route->destination();
+  if (dest == self_) return false;
+  auto route = lookupRoute(dest);
+  if (!route || net::routeContainsLink(*route, broken)) return false;
+  if (metrics_) ++metrics_->salvageAttempts;
+  recordCacheHit(*route);
+  auto p = net::clone(failed);
+  p->route = net::SourceRoute{std::move(*route), 0};
+  ++p->salvageCount;
+  transmitAlongRoute(std::move(p));
+  return true;
+}
+
+void DsrAgent::noteBrokenLink(net::LinkId link) {
+  // Remove from the route cache; the affected paths' ages feed the adaptive
+  // timeout estimator as route-lifetime samples.
+  const auto affected = cache_->removeLink(link, sched_.now());
+  if (affected.empty()) {
+    adaptive_.onLinkBreak(sched_.now());
+  } else {
+    for (sim::Time addedAt : affected) {
+      adaptive_.onRouteBreak(addedAt, sched_.now());
+    }
+  }
+  if (cfg_.negativeCache) {
+    neg_.insert(link, sched_.now());
+    if (metrics_) ++metrics_->negCacheInsertions;
+  }
+  forwardedLinks_.erase(link);
+}
+
+void DsrAgent::originateError(net::LinkId link, const net::Packet* failed) {
+  ++errorCounter_;
+  auto p = net::Packet::make();
+  p->kind = net::PacketKind::kRouteError;
+  p->src = self_;
+  p->originatedAt = sched_.now();
+  p->rerr = net::RouteErrorHdr{link, self_, errorCounter_};
+
+  if (cfg_.widerErrorNotification) {
+    // Technique 1: bad news travels as a MAC broadcast; receivers clean
+    // their caches and selectively rebroadcast (see handleErrorBroadcast).
+    p->dst = net::kBroadcast;
+    mac_.send(std::move(p), net::kBroadcast, /*priority=*/true);
+    return;
+  }
+
+  // Base DSR: unicast the error to the source of the failed packet over the
+  // reversed traversed prefix of its source route.
+  if (failed == nullptr || !failed->route) return;
+  const auto& hops = failed->route->hops;
+  auto selfIt = std::find(hops.begin(), hops.end(), self_);
+  if (selfIt == hops.end()) return;
+  if (selfIt == hops.begin()) {
+    // We are the source: no packet needed; remember the error for
+    // gratuitous route repair on the next request.
+    if (cfg_.gratuitousRepair) pendingRepairError_ = link;
+    return;
+  }
+  std::vector<net::NodeId> back(
+      std::make_reverse_iterator(selfIt + 1), hops.rend());
+  p->dst = back.back();
+  p->route = net::SourceRoute{std::move(back), 0};
+  transmitAlongRoute(std::move(p));
+}
+
+void DsrAgent::handleErrorUnicast(const net::PacketPtr& p) {
+  assert(p->rerr && p->route);
+  if (p->route->hops[p->route->cursor] != self_) return;
+  noteBrokenLink(p->rerr->broken);
+  if (p->route->atDestination()) {
+    // We are the source being notified: arm gratuitous route repair.
+    if (cfg_.gratuitousRepair) pendingRepairError_ = p->rerr->broken;
+    return;
+  }
+  transmitAlongRoute(net::clone(*p));
+}
+
+void DsrAgent::handleErrorBroadcast(const net::PacketPtr& p) {
+  assert(p->rerr);
+  const net::RouteErrorHdr& err = *p->rerr;
+  if (err.detector == self_) return;
+  if (errorSeen(err.detector, err.errorId)) return;
+
+  // Rebroadcast only if we both cached the broken link and had used it in
+  // packets we forwarded — this prunes the flood to the tree of nodes that
+  // actually routed over the link (plus their snooping neighbors). Both
+  // predicates must be evaluated before noteBrokenLink cleans them up.
+  const bool hadLink = cache_->containsLink(err.broken);
+  const bool usedInForwarding = forwardedLinks_.contains(err.broken);
+  noteBrokenLink(err.broken);
+
+  if (hadLink && usedInForwarding) {
+    if (metrics_) ++metrics_->rerrWideRebroadcasts;
+    auto fwd = net::clone(*p);
+    const auto jitter = sim::Time::nanos(rng_.uniformInt(
+        0, std::max<std::int64_t>(1, cfg_.broadcastJitterMax.ns())));
+    sched_.scheduleAfter(jitter, [this, fwd = std::move(fwd)] {
+      mac_.send(fwd, net::kBroadcast, /*priority=*/true);
+    });
+  }
+}
+
+// ------------------------------------------------------------------- tap
+
+void DsrAgent::onTap(const mac::Frame& f) {
+  if (cfg_.negativeCache) neg_.erase(net::LinkId{self_, f.src});
+  if (!cfg_.promiscuousListening) return;
+  if (!f.packet) return;
+  const net::Packet& p = *f.packet;
+
+  switch (p.kind) {
+    case net::PacketKind::kData:
+    case net::PacketKind::kRouteReply: {
+      if (!p.route) break;
+      const auto& hops = p.route->hops;
+      auto txIt = std::find(hops.begin(), hops.end(), f.src);
+      if (txIt == hops.end()) break;
+      // We hear the transmitter, so we can reach everything downstream of
+      // it: cache [self, transmitter, ...rest].
+      std::vector<net::NodeId> snooped;
+      snooped.push_back(self_);
+      snooped.insert(snooped.end(), txIt, hops.end());
+      if (!net::routeHasDuplicates(snooped)) cacheRoute(snooped);
+
+      // A route reply also reveals the reported route.
+      if (p.rrep) {
+        const auto& rep = p.rrep->route;
+        auto it = std::find(rep.begin(), rep.end(), self_);
+        if (it != rep.end()) {
+          cacheRoute(std::span<const net::NodeId>(
+              &*it, static_cast<std::size_t>(rep.end() - it)));
+        }
+      }
+
+      // Gratuitous reply (automatic route shortening): if this data packet
+      // will reach us several hops later anyway, tell the source to skip
+      // the detour.
+      if (cfg_.gratuitousReplies && p.kind == net::PacketKind::kData) {
+        auto selfIt = std::find(hops.begin(), hops.end(), self_);
+        if (selfIt != hops.end() && selfIt > txIt + 1) {
+          const net::NodeId source = hops.front();
+          auto last = lastGratReply_.find(source);
+          if (last == lastGratReply_.end() ||
+              sched_.now() - last->second >= kGratReplyHoldoff) {
+            lastGratReply_[source] = sched_.now();
+            std::vector<net::NodeId> shortened(hops.begin(), txIt + 1);
+            shortened.insert(shortened.end(), selfIt, hops.end());
+            // Back path to the source over the shortened prefix.
+            std::vector<net::NodeId> backPath;
+            backPath.push_back(self_);
+            for (auto it2 = std::make_reverse_iterator(txIt + 1);
+                 it2 != hops.rend(); ++it2) {
+              backPath.push_back(*it2);
+            }
+            if (!net::routeHasDuplicates(shortened) &&
+                !net::routeHasDuplicates(backPath) && backPath.size() >= 2) {
+              if (metrics_) ++metrics_->gratuitousRepliesGenerated;
+              sendReply(std::move(shortened), std::move(backPath),
+                        /*fromCache=*/false);
+            }
+          }
+        }
+      }
+      break;
+    }
+    case net::PacketKind::kRouteError:
+      // Deliberately NOT snooped. Base DSR's incomplete error notification
+      // — errors clean only the caches on the reverse path — is the
+      // premise of the paper's wider-error technique; cleaning caches from
+      // overheard unicast errors would make every error implicitly "wide".
+      break;
+    case net::PacketKind::kRouteRequest:
+      break;  // requests are broadcast; never tapped
+  }
+}
+
+// ------------------------------------------------------------------ cache
+
+void DsrAgent::cacheRoute(std::span<const net::NodeId> hops) {
+  if (hops.size() < 2 || hops.front() != self_) return;
+  std::size_t usable = hops.size();
+  if (cfg_.negativeCache) {
+    // Mutual exclusion: truncate at the first negatively-cached link so a
+    // freshly-erased stale route cannot be re-learned from in-flight
+    // packets ("quick pollution").
+    for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
+      if (neg_.contains(net::LinkId{hops[i], hops[i + 1]}, sched_.now())) {
+        usable = i + 1;
+        break;
+      }
+    }
+  }
+  if (usable < 2) return;
+  cache_->insert(hops.subspan(0, usable), sched_.now());
+  // A cache update may make buffered destinations routable.
+  if (sendBuf_.size() > 0) drainSendBuffer();
+}
+
+std::optional<std::vector<net::NodeId>> DsrAgent::lookupRoute(
+    net::NodeId dest) {
+  if (!cfg_.negativeCache) return cache_->findRoute(dest);
+  // Skip routes over quarantined links, but let alternate cached paths
+  // serve the destination.
+  return cache_->findRoute(dest, [this](net::LinkId link) {
+    return !neg_.contains(link, sched_.now());
+  });
+}
+
+void DsrAgent::recordCacheHit(std::span<const net::NodeId> route) {
+  if (!metrics_) return;
+  ++metrics_->cacheHits;
+  if (oracle_ != nullptr && !oracle_->routeValid(route, sched_.now())) {
+    ++metrics_->invalidCacheHits;
+  }
+}
+
+// --------------------------------------------------------------- periodic
+
+void DsrAgent::periodicExpiry() {
+  const sim::Time timeout = currentExpiryTimeout();
+  if (timeout < sim::Time::max()) {
+    const sim::Time now = sched_.now();
+    const sim::Time cutoff =
+        now > timeout ? now - timeout : sim::Time::zero();
+    const std::size_t pruned = cache_->expireUnusedSince(cutoff);
+    if (metrics_) metrics_->expiredLinks += pruned;
+  }
+  sched_.scheduleAfter(cfg_.expiryCheckPeriod, [this] { periodicExpiry(); });
+}
+
+void DsrAgent::periodicBufferSweep() {
+  const auto expired = sendBuf_.expire(sched_.now());
+  if (metrics_) metrics_->dropSendBufferTimeout += expired.size();
+  // Safety net: if packets are waiting but no discovery is running (e.g.
+  // the discovery ended because a snooped route later vanished), restart.
+  for (auto& [target, st] : discovery_) {
+    if (!st.active && sendBuf_.hasPacketsFor(target)) startDiscovery(target);
+  }
+  sched_.scheduleAfter(sim::Time::seconds(1),
+                       [this] { periodicBufferSweep(); });
+}
+
+// -------------------------------------------------------------- dedup sets
+
+bool DsrAgent::requestSeen(net::NodeId origin, std::uint32_t id) {
+  return seenRequests_.contains(seenKey(origin, id));
+}
+
+void DsrAgent::rememberRequest(net::NodeId origin, std::uint32_t id) {
+  const auto key = seenKey(origin, id);
+  if (seenRequests_.insert(key).second) {
+    seenRequestsFifo_.push_back(key);
+    if (seenRequestsFifo_.size() > kSeenTableCapacity) {
+      seenRequests_.erase(seenRequestsFifo_.front());
+      seenRequestsFifo_.pop_front();
+    }
+  }
+}
+
+bool DsrAgent::errorSeen(net::NodeId detector, std::uint32_t id) {
+  const auto key = seenKey(detector, id);
+  if (seenErrors_.contains(key)) return true;
+  seenErrors_.insert(key);
+  seenErrorsFifo_.push_back(key);
+  if (seenErrorsFifo_.size() > kSeenTableCapacity) {
+    seenErrors_.erase(seenErrorsFifo_.front());
+    seenErrorsFifo_.pop_front();
+  }
+  return false;
+}
+
+}  // namespace manet::core

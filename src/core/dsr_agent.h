@@ -1,0 +1,181 @@
+// The Dynamic Source Routing agent: one per node.
+//
+// Implements the full DSR protocol of Johnson & Maltz with the four standard
+// optimizations the paper's Base DSR uses (reply-from-cache, salvaging,
+// gratuitous route repair, promiscuous listening with gratuitous replies,
+// non-propagating route requests), plus the paper's three cache-correctness
+// techniques:
+//
+//   1. wider error notification   (broadcast RERRs, selective rebroadcast)
+//   2. timer-based route expiry   (static or adaptive timeout)
+//   3. negative caches            (broken-link cache, mutual exclusion)
+//
+// The agent sits directly on the MAC: it receives packets addressed to the
+// node, overhears everything else through the promiscuous tap, and learns of
+// broken links through the MAC's sendFailed feedback.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include <memory>
+
+#include "src/core/adaptive_timeout.h"
+#include "src/core/cache_structure.h"
+#include "src/core/dsr_config.h"
+#include "src/core/negative_cache.h"
+#include "src/core/send_buffer.h"
+#include "src/mac/dcf_mac.h"
+#include "src/metrics/metrics.h"
+#include "src/metrics/oracle.h"
+#include "src/net/packet.h"
+#include "src/net/routing_agent.h"
+#include "src/sim/rng.h"
+#include "src/sim/scheduler.h"
+
+namespace manet::core {
+
+class DsrAgent final : public net::RoutingAgent {
+ public:
+  /// `oracle` is optional and measurement-only (cache-correctness metrics).
+  DsrAgent(net::NodeId self, mac::DcfMac& mac, sim::Scheduler& sched,
+           sim::Rng rng, const DsrConfig& cfg, metrics::Metrics* metrics,
+           const metrics::LinkOracle* oracle);
+
+  DsrAgent(const DsrAgent&) = delete;
+  DsrAgent& operator=(const DsrAgent&) = delete;
+
+  /// Application entry point: send `payloadBytes` of data to `dst`.
+  void sendData(net::NodeId dst, std::uint32_t payloadBytes,
+                std::uint32_t flowId, std::uint64_t seqInFlow) override;
+
+  /// Send a fully-formed packet (transport extension: segments carrying a
+  /// TransportHdr). kind must be kData; src must be this node.
+  void sendPacket(std::shared_ptr<net::Packet> p);
+
+  /// Register an upcall invoked for every data packet delivered to this
+  /// node (after metrics accounting). Multiple handlers are all invoked.
+  using DeliveryHandler = std::function<void(const net::Packet&)>;
+  void addDeliveryHandler(DeliveryHandler h) {
+    deliveryHandlers_.push_back(std::move(h));
+  }
+
+  net::NodeId id() const override { return self_; }
+  const DsrConfig& config() const { return cfg_; }
+
+  /// Preload a route (first hop must be this node). Subject to the same
+  /// admission rules as learned routes (loop-free, negative-cache mutual
+  /// exclusion). Useful for static deployments, tests and examples.
+  void seedRoute(std::span<const net::NodeId> hops) { cacheRoute(hops); }
+
+  // --- introspection (tests, examples, benches) ---
+  const RouteCacheBase& routeCache() const { return *cache_; }
+  NegativeCache& negativeCache() { return neg_; }
+  const AdaptiveTimeout& adaptiveTimeout() const { return adaptive_; }
+  const SendBuffer& sendBuffer() const { return sendBuf_; }
+  /// The expiry timeout currently in force (static value, adaptive estimate,
+  /// or Time::max() when expiry is off).
+  sim::Time currentExpiryTimeout() const;
+
+ private:
+  struct DiscoveryState {
+    bool active = false;
+    std::uint32_t nextId = 1;
+    sim::Time backoff;
+    sim::EventId pendingEvent = sim::kInvalidEvent;
+  };
+
+  // MAC callbacks.
+  void onReceive(net::PacketPtr p, net::NodeId from);
+  void onTap(const mac::Frame& f);
+  void onSendFailed(net::PacketPtr p, net::NodeId nextHop);
+
+  // Per-kind handlers.
+  void handleData(const net::PacketPtr& p);
+  void handleRequest(const net::PacketPtr& p, net::NodeId from);
+  void handleReply(const net::PacketPtr& p);
+  void handleErrorUnicast(const net::PacketPtr& p);
+  void handleErrorBroadcast(const net::PacketPtr& p);
+
+  // Route discovery.
+  void startDiscovery(net::NodeId target);
+  void sendRequest(net::NodeId target, std::uint8_t ttl);
+  void onDiscoveryTimeout(net::NodeId target);
+  void endDiscovery(net::NodeId target);
+
+  // Replies.
+  void sendReply(std::vector<net::NodeId> fullRoute,
+                 std::vector<net::NodeId> backPath, bool fromCache,
+                 std::uint32_t freshness = 0);
+
+  // Errors / broken links.
+  void noteBrokenLink(net::LinkId link);
+  void originateError(net::LinkId link, const net::Packet* failedPacket);
+
+  // Cache plumbing.
+  /// Insert a route into the cache, honoring negative-cache mutual
+  /// exclusion (the route is truncated at the first negatively-cached
+  /// link). `hops` must start at this node.
+  void cacheRoute(std::span<const net::NodeId> hops);
+  /// Cache lookup that refuses routes crossing negatively-cached links.
+  std::optional<std::vector<net::NodeId>> lookupRoute(net::NodeId dest);
+  /// Count a cache hit and its oracle-checked validity.
+  void recordCacheHit(std::span<const net::NodeId> route);
+
+  // Transmission helpers.
+  void transmitAlongRoute(std::shared_ptr<net::Packet> p);
+  void forwardData(const net::PacketPtr& p);
+  bool trySalvage(const net::Packet& failed, net::LinkId broken);
+  void drainSendBuffer();
+
+  // Periodic work.
+  void periodicExpiry();
+  void periodicBufferSweep();
+
+  // Request duplicate table.
+  bool requestSeen(net::NodeId origin, std::uint32_t id);
+  void rememberRequest(net::NodeId origin, std::uint32_t id);
+  bool errorSeen(net::NodeId detector, std::uint32_t id);
+
+  net::NodeId self_;
+  mac::DcfMac& mac_;
+  sim::Scheduler& sched_;
+  sim::Rng rng_;
+  DsrConfig cfg_;
+  metrics::Metrics* metrics_;
+  const metrics::LinkOracle* oracle_;
+
+  std::unique_ptr<RouteCacheBase> cache_;
+  NegativeCache neg_;
+  AdaptiveTimeout adaptive_;
+  SendBuffer sendBuf_;
+
+  std::unordered_map<net::NodeId, DiscoveryState> discovery_;
+  std::unordered_set<std::uint64_t> seenRequests_;
+  std::deque<std::uint64_t> seenRequestsFifo_;
+  std::unordered_set<std::uint64_t> seenErrors_;
+  std::deque<std::uint64_t> seenErrorsFifo_;
+  /// Links this node recently used while forwarding packets — the wider
+  /// error rebroadcast predicate ("that route was used before in the
+  /// packets forwarded by the node").
+  std::unordered_map<net::LinkId, sim::Time, net::LinkIdHash> forwardedLinks_;
+  /// Gratuitous-reply rate limiting: (routeSource -> last grat reply time).
+  std::unordered_map<net::NodeId, sim::Time> lastGratReply_;
+  /// Most recent route error this node originated or received as a source,
+  /// piggybacked on the next route request (gratuitous route repair).
+  std::optional<net::LinkId> pendingRepairError_;
+  std::uint32_t errorCounter_ = 0;
+  std::vector<DeliveryHandler> deliveryHandlers_;
+
+  // Freshness-tagging extension state.
+  std::uint32_t ownFreshness_ = 0;  // stamp for replies we originate as target
+  /// Freshest reply stamp seen per destination.
+  std::unordered_map<net::NodeId, std::uint32_t> freshestSeen_;
+};
+
+}  // namespace manet::core

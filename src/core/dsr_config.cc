@@ -1,0 +1,50 @@
+#include "src/core/dsr_config.h"
+
+namespace manet::core {
+
+const char* toString(Variant v) {
+  switch (v) {
+    case Variant::kBase:
+      return "DSR";
+    case Variant::kWiderError:
+      return "WiderError";
+    case Variant::kStaticExpiry:
+      return "StaticExpiry";
+    case Variant::kAdaptiveExpiry:
+      return "AdaptiveExpiry";
+    case Variant::kNegCache:
+      return "NegCache";
+    case Variant::kAll:
+      return "ALL";
+  }
+  return "?";
+}
+
+DsrConfig makeVariantConfig(Variant v, sim::Time staticTimeout) {
+  DsrConfig cfg;  // defaults == Base DSR
+  switch (v) {
+    case Variant::kBase:
+      break;
+    case Variant::kWiderError:
+      cfg.widerErrorNotification = true;
+      break;
+    case Variant::kStaticExpiry:
+      cfg.expiry = ExpiryMode::kStatic;
+      cfg.staticTimeout = staticTimeout;
+      break;
+    case Variant::kAdaptiveExpiry:
+      cfg.expiry = ExpiryMode::kAdaptive;
+      break;
+    case Variant::kNegCache:
+      cfg.negativeCache = true;
+      break;
+    case Variant::kAll:
+      cfg.widerErrorNotification = true;
+      cfg.expiry = ExpiryMode::kAdaptive;
+      cfg.negativeCache = true;
+      break;
+  }
+  return cfg;
+}
+
+}  // namespace manet::core

@@ -1,0 +1,141 @@
+#include "src/core/link_cache.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+namespace manet::core {
+
+const char* toString(CacheStructure s) {
+  switch (s) {
+    case CacheStructure::kPath:
+      return "path";
+    case CacheStructure::kLink:
+      return "link";
+  }
+  return "?";
+}
+
+LinkCache::LinkCache(net::NodeId owner, std::size_t capacity)
+    : owner_(owner), capacity_(capacity) {}
+
+bool LinkCache::insert(std::span<const net::NodeId> hops, sim::Time now) {
+  if (hops.size() < 2 || hops.front() != owner_) return false;
+  if (net::routeHasDuplicates(hops)) return false;
+  for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
+    const net::LinkId link{hops[i], hops[i + 1]};
+    auto [it, inserted] = links_.try_emplace(link, LinkInfo{now, now});
+    if (inserted) {
+      if (links_.size() > capacity_) {
+        // Undo bookkeeping order: add adjacency first so eviction of the
+        // just-inserted link (if it is somehow oldest) stays consistent.
+        adj_[link.from].push_back(link.to);
+        evictOldest();
+        continue;
+      }
+      adj_[link.from].push_back(link.to);
+    }
+    // Re-learning an existing link refreshes neither addedAt nor lastUsed
+    // (matching the path cache's first-entered semantics).
+  }
+  return true;
+}
+
+std::optional<std::vector<net::NodeId>> LinkCache::findRoute(
+    net::NodeId dest, const LinkFilter& acceptLink) const {
+  if (dest == owner_) return std::nullopt;
+  // Unweighted shortest path => BFS from the owner.
+  std::unordered_map<net::NodeId, net::NodeId> parent;
+  std::deque<net::NodeId> frontier{owner_};
+  parent.emplace(owner_, owner_);
+  while (!frontier.empty()) {
+    const net::NodeId u = frontier.front();
+    frontier.pop_front();
+    if (u == dest) break;
+    auto it = adj_.find(u);
+    if (it == adj_.end()) continue;
+    for (net::NodeId v : it->second) {
+      if (parent.contains(v)) continue;
+      if (acceptLink && !acceptLink(net::LinkId{u, v})) continue;
+      parent.emplace(v, u);
+      frontier.push_back(v);
+    }
+  }
+  if (!parent.contains(dest)) return std::nullopt;
+  std::vector<net::NodeId> route{dest};
+  for (net::NodeId n = dest; n != owner_; n = parent.at(n)) {
+    route.push_back(parent.at(n));
+  }
+  std::reverse(route.begin(), route.end());
+  return route;
+}
+
+bool LinkCache::containsLink(net::LinkId link) const {
+  return links_.contains(link);
+}
+
+std::vector<sim::Time> LinkCache::removeLink(net::LinkId link,
+                                             sim::Time /*now*/) {
+  auto it = links_.find(link);
+  if (it == links_.end()) return {};
+  std::vector<sim::Time> affected{it->second.addedAt};
+  links_.erase(it);
+  auto adjIt = adj_.find(link.from);
+  if (adjIt != adj_.end()) {
+    std::erase(adjIt->second, link.to);
+    if (adjIt->second.empty()) adj_.erase(adjIt);
+  }
+  return affected;
+}
+
+void LinkCache::markLinksUsed(std::span<const net::NodeId> route,
+                              sim::Time now) {
+  for (std::size_t i = 0; i + 1 < route.size(); ++i) {
+    auto it = links_.find(net::LinkId{route[i], route[i + 1]});
+    if (it != links_.end()) it->second.lastUsed = now;
+  }
+}
+
+std::size_t LinkCache::expireUnusedSince(sim::Time cutoff) {
+  std::size_t pruned = 0;
+  for (auto it = links_.begin(); it != links_.end();) {
+    if (it->second.lastUsed < cutoff) {
+      auto adjIt = adj_.find(it->first.from);
+      if (adjIt != adj_.end()) {
+        std::erase(adjIt->second, it->first.to);
+        if (adjIt->second.empty()) adj_.erase(adjIt);
+      }
+      it = links_.erase(it);
+      ++pruned;
+    } else {
+      ++it;
+    }
+  }
+  return pruned;
+}
+
+void LinkCache::clear() {
+  links_.clear();
+  adj_.clear();
+}
+
+void LinkCache::evictOldest() {
+  auto oldest = links_.end();
+  sim::Time oldestTime = sim::Time::max();
+  for (auto it = links_.begin(); it != links_.end(); ++it) {
+    if (it->second.addedAt < oldestTime) {
+      oldestTime = it->second.addedAt;
+      oldest = it;
+    }
+  }
+  if (oldest == links_.end()) return;
+  const net::LinkId victim = oldest->first;
+  links_.erase(oldest);
+  auto adjIt = adj_.find(victim.from);
+  if (adjIt != adj_.end()) {
+    std::erase(adjIt->second, victim.to);
+    if (adjIt->second.empty()) adj_.erase(adjIt);
+  }
+}
+
+}  // namespace manet::core

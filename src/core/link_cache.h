@@ -1,0 +1,54 @@
+// Graph-based link cache (the alternative cache organization of
+// Hu & Johnson, MobiCom'00), contrasted with the paper's path cache.
+//
+// Each learned source route is decomposed into directed links in a graph;
+// routes are recovered on demand by breadth-first search (all links cost
+// one hop, so BFS == Dijkstra here). Link caches extract more information
+// from each overheard route — links from different routes combine into new
+// paths — at the price of composing possibly-stale links that were never
+// observed together.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/cache_structure.h"
+
+namespace manet::core {
+
+class LinkCache final : public RouteCacheBase {
+ public:
+  /// `capacity` bounds the number of stored links; the oldest (by addedAt)
+  /// is evicted when full.
+  LinkCache(net::NodeId owner, std::size_t capacity);
+
+  bool insert(std::span<const net::NodeId> hops, sim::Time now) override;
+  std::optional<std::vector<net::NodeId>> findRoute(
+      net::NodeId dest, const LinkFilter& acceptLink = {}) const override;
+  bool containsLink(net::LinkId link) const override;
+  std::vector<sim::Time> removeLink(net::LinkId link, sim::Time now) override;
+  void markLinksUsed(std::span<const net::NodeId> route,
+                     sim::Time now) override;
+  std::size_t expireUnusedSince(sim::Time cutoff) override;
+  void clear() override;
+  std::size_t size() const override { return links_.size(); }
+
+  net::NodeId owner() const { return owner_; }
+
+ private:
+  struct LinkInfo {
+    sim::Time addedAt;
+    sim::Time lastUsed;
+  };
+
+  void evictOldest();
+
+  net::NodeId owner_;
+  std::size_t capacity_;
+  std::unordered_map<net::LinkId, LinkInfo, net::LinkIdHash> links_;
+  /// Forward adjacency for the BFS (kept in sync with links_).
+  std::unordered_map<net::NodeId, std::vector<net::NodeId>> adj_;
+};
+
+}  // namespace manet::core

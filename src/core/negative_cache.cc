@@ -1,0 +1,68 @@
+#include "src/core/negative_cache.h"
+
+#include <algorithm>
+
+namespace manet::core {
+
+NegativeCache::NegativeCache(std::size_t capacity, sim::Time ttl)
+    : capacity_(capacity), ttl_(ttl) {}
+
+void NegativeCache::insert(net::LinkId link, sim::Time now) {
+  expire(now);
+  auto it = expiry_.find(link);
+  if (it != expiry_.end()) {
+    it->second = now + ttl_;
+    // Refresh FIFO position.
+    auto pos = std::find(fifo_.begin(), fifo_.end(), link);
+    if (pos != fifo_.end()) fifo_.erase(pos);
+    fifo_.push_back(link);
+    return;
+  }
+  if (expiry_.size() >= capacity_ && !fifo_.empty()) {
+    expiry_.erase(fifo_.front());
+    fifo_.pop_front();
+  }
+  expiry_.emplace(link, now + ttl_);
+  fifo_.push_back(link);
+}
+
+bool NegativeCache::contains(net::LinkId link, sim::Time now) {
+  auto it = expiry_.find(link);
+  if (it == expiry_.end()) return false;
+  if (it->second <= now) {
+    expiry_.erase(it);
+    auto pos = std::find(fifo_.begin(), fifo_.end(), link);
+    if (pos != fifo_.end()) fifo_.erase(pos);
+    return false;
+  }
+  return true;
+}
+
+void NegativeCache::erase(net::LinkId link) {
+  if (expiry_.erase(link) > 0) {
+    auto pos = std::find(fifo_.begin(), fifo_.end(), link);
+    if (pos != fifo_.end()) fifo_.erase(pos);
+  }
+}
+
+std::size_t NegativeCache::size(sim::Time now) {
+  expire(now);
+  return expiry_.size();
+}
+
+void NegativeCache::expire(sim::Time now) {
+  while (!fifo_.empty()) {
+    auto it = expiry_.find(fifo_.front());
+    if (it == expiry_.end()) {
+      fifo_.pop_front();
+      continue;
+    }
+    if (it->second > now) break;  // FIFO front has the earliest expiry only
+                                  // approximately; refreshes reorder — do a
+                                  // full sweep below when the front is stale.
+    expiry_.erase(it);
+    fifo_.pop_front();
+  }
+}
+
+}  // namespace manet::core

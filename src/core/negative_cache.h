@@ -1,0 +1,53 @@
+// Negative cache: recently-broken links (the paper's third technique).
+//
+// Caching the *absence* of a link prevents the "quick pollution" problem:
+// after a route error erases a stale route, in-flight packets upstream still
+// carry it and would re-insert it on the next forward or snoop. While a link
+// is negatively cached (Nt = 10 s in the paper):
+//   * packets whose source route uses the link are dropped and a route error
+//     is generated, and
+//   * the link is never admitted into the route cache —
+// route cache and negative cache stay mutually exclusive.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <unordered_map>
+
+#include "src/net/packet.h"
+#include "src/sim/time.h"
+
+namespace manet::core {
+
+class NegativeCache {
+ public:
+  /// `capacity` entries with FIFO replacement; entries live for `ttl`.
+  NegativeCache(std::size_t capacity, sim::Time ttl);
+
+  /// Record a broken link observed at `now` (via link-layer feedback or a
+  /// route error). Re-inserting refreshes the expiry and FIFO position.
+  void insert(net::LinkId link, sim::Time now);
+
+  /// True if the link is negatively cached and not yet expired.
+  bool contains(net::LinkId link, sim::Time now);
+
+  /// Positive evidence that the link works (e.g. we just heard the
+  /// neighbor transmit): lift the quarantine early. Congestion can make
+  /// the MAC report breaks for links that are physically fine; without
+  /// this, such false positives block the only good route for a full Nt.
+  void erase(net::LinkId link);
+
+  std::size_t size(sim::Time now);
+  std::size_t capacity() const { return capacity_; }
+  sim::Time ttl() const { return ttl_; }
+
+ private:
+  void expire(sim::Time now);
+
+  std::size_t capacity_;
+  sim::Time ttl_;
+  std::unordered_map<net::LinkId, sim::Time, net::LinkIdHash> expiry_;
+  std::deque<net::LinkId> fifo_;
+};
+
+}  // namespace manet::core

@@ -1,0 +1,125 @@
+#include "src/core/route_cache.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace manet::core {
+
+RouteCache::RouteCache(net::NodeId owner, std::size_t capacity)
+    : owner_(owner), capacity_(capacity) {}
+
+bool RouteCache::insert(std::span<const net::NodeId> hops, sim::Time now) {
+  if (hops.size() < 2 || hops.front() != owner_) return false;
+  if (net::routeHasDuplicates(hops)) return false;
+
+  std::vector<net::NodeId> path(hops.begin(), hops.end());
+  // Already cached: keep the original addedAt. Forwarders re-learn the same
+  // route from every packet they relay; refreshing the timestamp here would
+  // collapse the route-lifetime samples the adaptive timeout feeds on
+  // (lifetime = break time - time the route was first entered).
+  for (const CachedPath& p : paths_) {
+    if (p.hops == path) return true;
+  }
+  if (paths_.size() >= capacity_) {
+    paths_.erase(paths_.begin());  // FIFO eviction
+  }
+  // New links start their usage clock at insertion time.
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    lastUsed_.try_emplace(net::LinkId{path[i], path[i + 1]}, now);
+  }
+  paths_.push_back(CachedPath{std::move(path), now});
+  return true;
+}
+
+std::optional<std::vector<net::NodeId>> RouteCache::findRoute(
+    net::NodeId dest, const LinkFilter& acceptLink) const {
+  const CachedPath* best = nullptr;
+  std::size_t bestLen = std::numeric_limits<std::size_t>::max();
+  for (const CachedPath& p : paths_) {
+    auto it = std::find(p.hops.begin(), p.hops.end(), dest);
+    if (it == p.hops.end() || it == p.hops.begin()) continue;
+    const auto len = static_cast<std::size_t>(it - p.hops.begin()) + 1;
+    // Shortest wins; among equals the later (more recently added) one.
+    if (len > bestLen) continue;
+    if (acceptLink) {
+      bool ok = true;
+      for (std::size_t i = 0; i + 1 < len; ++i) {
+        if (!acceptLink(net::LinkId{p.hops[i], p.hops[i + 1]})) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+    }
+    best = &p;
+    bestLen = len;
+  }
+  if (best == nullptr) return std::nullopt;
+  return std::vector<net::NodeId>(best->hops.begin(),
+                                  best->hops.begin() +
+                                      static_cast<std::ptrdiff_t>(bestLen));
+}
+
+bool RouteCache::containsLink(net::LinkId link) const {
+  return std::any_of(paths_.begin(), paths_.end(), [&](const CachedPath& p) {
+    return net::routeContainsLink(p.hops, link);
+  });
+}
+
+std::vector<sim::Time> RouteCache::removeLink(net::LinkId link,
+                                              sim::Time /*now*/) {
+  std::vector<sim::Time> affected;
+  for (CachedPath& p : paths_) {
+    for (std::size_t i = 0; i + 1 < p.hops.size(); ++i) {
+      if (p.hops[i] == link.from && p.hops[i + 1] == link.to) {
+        affected.push_back(p.addedAt);
+        p.hops.resize(i + 1);  // truncate at the point of failure
+        break;
+      }
+    }
+  }
+  lastUsed_.erase(link);
+  dropUnroutable();
+  return affected;
+}
+
+void RouteCache::markLinksUsed(std::span<const net::NodeId> route,
+                               sim::Time now) {
+  for (std::size_t i = 0; i + 1 < route.size(); ++i) {
+    auto it = lastUsed_.find(net::LinkId{route[i], route[i + 1]});
+    if (it != lastUsed_.end()) it->second = now;
+  }
+}
+
+sim::Time RouteCache::linkLastUsed(net::LinkId link, sim::Time addedAt) const {
+  auto it = lastUsed_.find(link);
+  return it != lastUsed_.end() ? std::max(it->second, addedAt) : addedAt;
+}
+
+std::size_t RouteCache::expireUnusedSince(sim::Time cutoff) {
+  std::size_t pruned = 0;
+  for (CachedPath& p : paths_) {
+    for (std::size_t i = 0; i + 1 < p.hops.size(); ++i) {
+      const net::LinkId link{p.hops[i], p.hops[i + 1]};
+      if (linkLastUsed(link, p.addedAt) < cutoff) {
+        pruned += p.hops.size() - (i + 1);
+        p.hops.resize(i + 1);
+        break;
+      }
+    }
+  }
+  dropUnroutable();
+  return pruned;
+}
+
+void RouteCache::clear() {
+  paths_.clear();
+  lastUsed_.clear();
+}
+
+void RouteCache::dropUnroutable() {
+  std::erase_if(paths_,
+                [](const CachedPath& p) { return p.hops.size() < 2; });
+}
+
+}  // namespace manet::core

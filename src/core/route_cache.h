@@ -1,0 +1,88 @@
+// DSR path route cache.
+//
+// A *path cache* (as in the CMU Monarch ns-2 DSR and this paper — contrast
+// with the link caches of Hu & Johnson) stores complete source routes, each
+// beginning at the caching node. A route to destination D is the shortest
+// stored path prefix ending at D.
+//
+// For the paper's timer-based expiry technique every link carries a
+// last-used timestamp, refreshed whenever the node sees the link in a
+// unicast packet it forwards; expire() prunes the portion of each path whose
+// links have gone unused longer than the timeout.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/cache_structure.h"
+#include "src/net/packet.h"
+#include "src/sim/time.h"
+
+namespace manet::core {
+
+class RouteCache final : public RouteCacheBase {
+ public:
+  struct CachedPath {
+    std::vector<net::NodeId> hops;  // hops.front() == owning node
+    sim::Time addedAt;              // insertion / refresh time
+  };
+
+  RouteCache(net::NodeId owner, std::size_t capacity);
+
+  net::NodeId owner() const { return owner_; }
+  std::size_t size() const override { return paths_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  const std::vector<CachedPath>& paths() const { return paths_; }
+
+  /// Insert a path (hops.front() must equal owner(); length >= 2;
+  /// loop-free). Invalid paths are rejected; re-inserting an existing path
+  /// keeps its original addedAt (lifetime samples measure age since first
+  /// learned). When full, the oldest path is evicted (FIFO).
+  bool insert(std::span<const net::NodeId> hops, sim::Time now) override;
+
+  /// Shortest cached route from owner to `dest` (a prefix of any stored path
+  /// works, since every stored node is reachable along the way). Ties break
+  /// to the most recently added path. With `acceptLink`, candidates using a
+  /// rejected link are skipped — other cached paths still serve.
+  std::optional<std::vector<net::NodeId>> findRoute(
+      net::NodeId dest, const LinkFilter& acceptLink = {}) const override;
+
+  bool hasRouteTo(net::NodeId dest) const { return findRoute(dest).has_value(); }
+
+  /// True if any stored path uses the directed link.
+  bool containsLink(net::LinkId link) const override;
+
+  /// Remove a broken link: every path using it is truncated just before the
+  /// link (dropped entirely if nothing routable remains). Returns the
+  /// addedAt times of the affected paths — the adaptive-timeout estimator
+  /// uses them as route-lifetime samples.
+  std::vector<sim::Time> removeLink(net::LinkId link, sim::Time now) override;
+
+  /// Refresh last-used timestamps for every link of `route` (called when the
+  /// owner forwards a unicast packet carrying that source route).
+  void markLinksUsed(std::span<const net::NodeId> route,
+                     sim::Time now) override;
+
+  /// Timer-based expiry: truncate each path at its first link unused since
+  /// `cutoff` (links never seen in traffic keep their insertion time).
+  /// Returns the number of links pruned.
+  std::size_t expireUnusedSince(sim::Time cutoff) override;
+
+  void clear() override;
+
+ private:
+  void dropUnroutable();
+  sim::Time linkLastUsed(net::LinkId link, sim::Time addedAt) const;
+
+  net::NodeId owner_;
+  std::size_t capacity_;
+  std::vector<CachedPath> paths_;  // insertion order == FIFO order
+  /// Link usage timestamps shared across paths (a link may appear in many).
+  std::unordered_map<net::LinkId, sim::Time, net::LinkIdHash> lastUsed_;
+};
+
+}  // namespace manet::core

@@ -1,0 +1,60 @@
+#include "src/core/send_buffer.h"
+
+#include <algorithm>
+
+namespace manet::core {
+
+std::vector<SendBuffer::Entry> SendBuffer::push(net::PacketPtr pkt,
+                                                net::NodeId dest,
+                                                sim::Time now) {
+  std::vector<Entry> evicted;
+  while (entries_.size() >= capacity_) {
+    evicted.push_back(std::move(entries_.front()));
+    entries_.pop_front();
+  }
+  entries_.push_back(Entry{std::move(pkt), dest, now});
+  return evicted;
+}
+
+std::vector<SendBuffer::Entry> SendBuffer::takeForDest(net::NodeId dest) {
+  std::vector<Entry> out;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->dest == dest) {
+      out.push_back(std::move(*it));
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return out;
+}
+
+std::vector<SendBuffer::Entry> SendBuffer::expire(sim::Time now) {
+  std::vector<Entry> out;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (now - it->enqueuedAt > timeout_) {
+      out.push_back(std::move(*it));
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return out;
+}
+
+std::vector<net::NodeId> SendBuffer::destinations() const {
+  std::vector<net::NodeId> out;
+  for (const Entry& e : entries_) {
+    if (std::find(out.begin(), out.end(), e.dest) == out.end()) {
+      out.push_back(e.dest);
+    }
+  }
+  return out;
+}
+
+bool SendBuffer::hasPacketsFor(net::NodeId dest) const {
+  return std::any_of(entries_.begin(), entries_.end(),
+                     [dest](const Entry& e) { return e.dest == dest; });
+}
+
+}  // namespace manet::core

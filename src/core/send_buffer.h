@@ -1,0 +1,48 @@
+// DSR send buffer: data packets waiting at the source for a route.
+//
+// Per the paper's model: 64 packets, buffering only at the traffic source,
+// packets dropped after waiting 30 seconds.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "src/net/packet.h"
+#include "src/sim/time.h"
+
+namespace manet::core {
+
+class SendBuffer {
+ public:
+  struct Entry {
+    net::PacketPtr packet;
+    net::NodeId dest;
+    sim::Time enqueuedAt;
+  };
+
+  SendBuffer(std::size_t capacity, sim::Time timeout)
+      : capacity_(capacity), timeout_(timeout) {}
+
+  /// Buffer a packet awaiting a route to `dest`. If full, the oldest entry
+  /// is evicted and returned so the caller can count the drop.
+  std::vector<Entry> push(net::PacketPtr pkt, net::NodeId dest, sim::Time now);
+
+  /// Remove and return all packets waiting for `dest` (a route was found).
+  std::vector<Entry> takeForDest(net::NodeId dest);
+
+  /// Remove and return entries older than the timeout (to be dropped).
+  std::vector<Entry> expire(sim::Time now);
+
+  bool hasPacketsFor(net::NodeId dest) const;
+  /// Distinct destinations currently waiting for a route.
+  std::vector<net::NodeId> destinations() const;
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::size_t capacity_;
+  sim::Time timeout_;
+  std::deque<Entry> entries_;
+};
+
+}  // namespace manet::core

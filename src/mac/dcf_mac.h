@@ -1,0 +1,137 @@
+// IEEE 802.11 DCF subset: CSMA/CA with RTS/CTS/DATA/ACK, binary exponential
+// backoff, NAV virtual carrier sense and bounded retries.
+//
+// The piece DSR depends on is the *link-layer feedback*: when the retry
+// limit is exhausted (no CTS after repeated RTS, or no ACK after data), the
+// MAC reports sendFailed(packet, nextHop) to the routing agent — that is how
+// DSR learns a link broke. RTS/CTS/ACK transmissions are counted into the
+// metrics because the paper's normalized overhead includes MAC control
+// packets.
+//
+// Simplifications vs the full standard (documented in DESIGN.md): no EIFS,
+// no fragmentation, no capture effect, and backoff is modeled as a randomized
+// deferral after the medium goes idle rather than a pausable slot counter.
+// Contention, collisions, exponential backoff and retry-limit failures — the
+// behaviours the paper's results rest on — are preserved.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/mac/frame.h"
+#include "src/metrics/metrics.h"
+#include "src/net/packet.h"
+#include "src/phy/radio.h"
+#include "src/sim/rng.h"
+#include "src/sim/scheduler.h"
+
+namespace manet::mac {
+
+struct MacConfig {
+  sim::Time slot = sim::Time::micros(20);
+  sim::Time sifs = sim::Time::micros(10);
+  sim::Time difs = sim::Time::micros(50);
+  std::uint32_t cwMin = 31;
+  std::uint32_t cwMax = 1023;
+  /// Attempts before giving up: RTS attempts (short) / DATA attempts (long).
+  int shortRetryLimit = 7;
+  int longRetryLimit = 4;
+  /// Unicast packets of at least this size use RTS/CTS. ns-2's DSR studies
+  /// ran with RTSThreshold = 0, i.e. RTS/CTS for every unicast frame.
+  std::uint32_t rtsThresholdBytes = 0;
+  std::size_t queueCapacity = 50;  // ns-2 IFQ length
+  /// Extra slack allowed when waiting for CTS/ACK beyond SIFS + airtime.
+  sim::Time timeoutSlack = sim::Time::micros(40);
+};
+
+/// One entry of the interface queue.
+struct QueuedPacket {
+  net::PacketPtr packet;
+  net::NodeId nextHop = net::kBroadcast;
+  bool priority = false;
+  std::uint32_t seq = 0;  // MAC sequence for duplicate detection
+};
+
+class DcfMac {
+ public:
+  struct Handlers {
+    /// Intact frame addressed to this node (or broadcast).
+    std::function<void(net::PacketPtr, net::NodeId from)> receive;
+    /// Overheard data frame not addressed to this node (promiscuous mode).
+    std::function<void(const Frame&)> promiscuousTap;
+    /// Retry limit exhausted: the link to nextHop is considered broken.
+    std::function<void(net::PacketPtr, net::NodeId nextHop)> sendFailed;
+    /// Unicast acknowledged end-to-end at this hop.
+    std::function<void(net::PacketPtr, net::NodeId nextHop)> sendOk;
+  };
+
+  DcfMac(net::NodeId id, phy::Radio& radio, sim::Scheduler& sched,
+         sim::Rng rng, const MacConfig& cfg, metrics::Metrics* metrics);
+
+  void setHandlers(Handlers h) { handlers_ = std::move(h); }
+
+  /// Enqueue a packet for transmission to `nextHop` (kBroadcast for
+  /// link-layer broadcast). `priority` packets (routing control) jump ahead
+  /// of buffered data, as in ns-2's CMUPriQueue.
+  void send(net::PacketPtr pkt, net::NodeId nextHop, bool priority = false);
+
+  /// Remove all queued packets destined to `nextHop` (called by DSR when the
+  /// link is known broken) and return them for salvaging.
+  std::vector<QueuedPacket> purgeNextHop(net::NodeId nextHop);
+
+  std::size_t queueLength() const { return queue_.size(); }
+  net::NodeId id() const { return id_; }
+
+ private:
+  enum class State {
+    kIdle,       // nothing to send
+    kContending, // have a head-of-line packet, waiting for channel access
+    kSending,    // transmitting (RTS, DATA, or broadcast)
+    kAwaitCts,
+    kAwaitAck,
+  };
+
+  void startAccessIfIdle();
+  void beginContention();
+  void scheduleAttempt();
+  void attempt();
+  void transmitHeadOfLine();
+  void sendControl(FrameType type, net::NodeId dst, sim::Time duration);
+  void sendDataFrame();
+  void onFrame(const Frame& f);
+  void onCtsTimeout();
+  void onAckTimeout();
+  void retryOrFail(bool shortRetry);
+  void finishCurrent(bool success);
+  void countFrameTx(const Frame& f);
+
+  sim::Time airtime(std::uint32_t bytes) const;
+  sim::Time ctsTimeout() const;
+  sim::Time ackTimeoutFor(std::uint32_t dataBytes) const;
+
+  net::NodeId id_;
+  phy::Radio& radio_;
+  sim::Scheduler& sched_;
+  sim::Rng rng_;
+  MacConfig cfg_;
+  metrics::Metrics* metrics_;
+  Handlers handlers_;
+
+  std::deque<QueuedPacket> queue_;
+  State state_ = State::kIdle;
+  std::uint32_t cw_;
+  int shortRetries_ = 0;
+  int longRetries_ = 0;
+  std::uint32_t backoffSlots_ = 0;
+  bool backoffDrawn_ = false;
+  sim::Time navUntil_ = sim::Time::zero();
+  sim::EventId pendingEvent_ = sim::kInvalidEvent;   // attempt or timeout
+  std::uint32_t seqCounter_ = 0;
+  /// Duplicate filter: last sequence number delivered upward, per sender.
+  std::unordered_map<net::NodeId, std::uint32_t> lastDeliveredSeq_;
+};
+
+}  // namespace manet::mac

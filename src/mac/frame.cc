@@ -1,0 +1,33 @@
+#include "src/mac/frame.h"
+
+namespace manet::mac {
+
+const char* toString(FrameType t) {
+  switch (t) {
+    case FrameType::kRts:
+      return "RTS";
+    case FrameType::kCts:
+      return "CTS";
+    case FrameType::kData:
+      return "DATA";
+    case FrameType::kAck:
+      return "ACK";
+  }
+  return "?";
+}
+
+std::uint32_t Frame::bytes() const {
+  switch (type) {
+    case FrameType::kRts:
+      return kRtsBytes;
+    case FrameType::kCts:
+      return kCtsBytes;
+    case FrameType::kAck:
+      return kAckBytes;
+    case FrameType::kData:
+      return kMacDataHeaderBytes + (packet ? packet->wireBytes() : 0);
+  }
+  return 0;
+}
+
+}  // namespace manet::mac

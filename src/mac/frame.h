@@ -1,0 +1,37 @@
+// MAC-layer frame: what actually travels over the radio channel.
+#pragma once
+
+#include <cstdint>
+
+#include "src/net/packet.h"
+#include "src/sim/time.h"
+
+namespace manet::mac {
+
+enum class FrameType : std::uint8_t { kRts, kCts, kData, kAck };
+
+const char* toString(FrameType t);
+
+struct Frame {
+  FrameType type = FrameType::kData;
+  net::NodeId src = 0;                 // transmitter
+  net::NodeId dst = net::kBroadcast;   // intended receiver
+  /// NAV value: how long the medium stays reserved after this frame ends.
+  sim::Time duration;
+  std::uint32_t seq = 0;   // per-transmitter sequence, for dup detection
+  bool retry = false;      // MAC-level retransmission flag
+  net::PacketPtr packet;   // payload; only kData frames carry one
+
+  /// Size on the air, including MAC header and PHY preamble-equivalent
+  /// bytes (the channel charges transmission time from this).
+  std::uint32_t bytes() const;
+};
+
+/// Frame-size constants (bytes), modeled on IEEE 802.11 over 2 Mb/s
+/// WaveLAN. PLCP preamble time is charged separately by the channel.
+inline constexpr std::uint32_t kRtsBytes = 20;
+inline constexpr std::uint32_t kCtsBytes = 14;
+inline constexpr std::uint32_t kAckBytes = 14;
+inline constexpr std::uint32_t kMacDataHeaderBytes = 28;
+
+}  // namespace manet::mac

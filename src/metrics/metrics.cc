@@ -1,0 +1,46 @@
+#include "src/metrics/metrics.h"
+
+namespace manet::metrics {
+
+void Metrics::add(const Metrics& o) {
+  dataOriginated += o.dataOriginated;
+  dataDelivered += o.dataDelivered;
+  bytesDelivered += o.bytesDelivered;
+  delaySumSec += o.delaySumSec;
+  dropSendBufferTimeout += o.dropSendBufferTimeout;
+  dropSendBufferOverflow += o.dropSendBufferOverflow;
+  dropIfqFull += o.dropIfqFull;
+  dropLinkFailNoSalvage += o.dropLinkFailNoSalvage;
+  dropNegativeCache += o.dropNegativeCache;
+  dropTtlExpired += o.dropTtlExpired;
+  dropMacDuplicate += o.dropMacDuplicate;
+  rreqTx += o.rreqTx;
+  rrepTx += o.rrepTx;
+  rerrTx += o.rerrTx;
+  rtsTx += o.rtsTx;
+  ctsTx += o.ctsTx;
+  ackTx += o.ackTx;
+  dataFrameTx += o.dataFrameTx;
+  ctsTimeouts += o.ctsTimeouts;
+  ackTimeouts += o.ackTimeouts;
+  rtsIgnoredBusy += o.rtsIgnoredBusy;
+  cacheHits += o.cacheHits;
+  invalidCacheHits += o.invalidCacheHits;
+  repliesReceived += o.repliesReceived;
+  goodRepliesReceived += o.goodRepliesReceived;
+  cacheRepliesGenerated += o.cacheRepliesGenerated;
+  targetRepliesGenerated += o.targetRepliesGenerated;
+  gratuitousRepliesGenerated += o.gratuitousRepliesGenerated;
+  staleRepliesIgnored += o.staleRepliesIgnored;
+  routeDiscoveriesStarted += o.routeDiscoveriesStarted;
+  nonPropRequestsSent += o.nonPropRequestsSent;
+  floodRequestsSent += o.floodRequestsSent;
+  linkBreaksDetected += o.linkBreaksDetected;
+  fakeLinkBreaks += o.fakeLinkBreaks;
+  salvageAttempts += o.salvageAttempts;
+  expiredLinks += o.expiredLinks;
+  rerrWideRebroadcasts += o.rerrWideRebroadcasts;
+  negCacheInsertions += o.negCacheInsertions;
+}
+
+}  // namespace manet::metrics

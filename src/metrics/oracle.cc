@@ -1,0 +1,17 @@
+#include "src/metrics/oracle.h"
+
+namespace manet::metrics {
+
+bool LinkOracle::linkValid(net::NodeId a, net::NodeId b, sim::Time t) const {
+  return distance(positions_(a, t), positions_(b, t)) <= range_;
+}
+
+bool LinkOracle::routeValid(std::span<const net::NodeId> hops,
+                            sim::Time t) const {
+  for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
+    if (!linkValid(hops[i], hops[i + 1], t)) return false;
+  }
+  return true;
+}
+
+}  // namespace manet::metrics

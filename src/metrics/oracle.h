@@ -1,0 +1,36 @@
+// Ground-truth link oracle for cache-correctness metrics.
+//
+// "Good replies" and "invalid cached routes" require knowing whether a route
+// was *actually* usable at the instant a cache handed it out. The oracle
+// answers that from node positions — information only the simulator has.
+// It is measurement-only: protocol code never consults it.
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "src/net/packet.h"
+#include "src/sim/time.h"
+#include "src/util/vec2.h"
+
+namespace manet::metrics {
+
+class LinkOracle {
+ public:
+  using PositionFn = std::function<Vec2(net::NodeId, sim::Time)>;
+
+  LinkOracle(PositionFn positions, double rangeMeters)
+      : positions_(std::move(positions)), range_(rangeMeters) {}
+
+  /// True if a and b are within radio range of each other at time t.
+  bool linkValid(net::NodeId a, net::NodeId b, sim::Time t) const;
+
+  /// True if every consecutive hop pair in `hops` is a valid link at t.
+  bool routeValid(std::span<const net::NodeId> hops, sim::Time t) const;
+
+ private:
+  PositionFn positions_;
+  double range_;
+};
+
+}  // namespace manet::metrics

@@ -1,0 +1,28 @@
+// Abstract mobility interface: position as a pure function of time.
+#pragma once
+
+#include "src/sim/time.h"
+#include "src/util/vec2.h"
+
+namespace manet::mobility {
+
+/// A node's trajectory. Implementations must be deterministic functions of
+/// time so any layer (channel, oracle) can query positions without coupling
+/// to a periodic position-update event.
+class MobilityModel {
+ public:
+  virtual ~MobilityModel() = default;
+  virtual Vec2 positionAt(sim::Time t) const = 0;
+};
+
+/// A node that never moves (unit tests, fixed topologies).
+class StaticMobility final : public MobilityModel {
+ public:
+  explicit StaticMobility(Vec2 pos) : pos_(pos) {}
+  Vec2 positionAt(sim::Time) const override { return pos_; }
+
+ private:
+  Vec2 pos_;
+};
+
+}  // namespace manet::mobility

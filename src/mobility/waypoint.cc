@@ -1,0 +1,53 @@
+#include "src/mobility/waypoint.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace manet::mobility {
+
+RandomWaypoint::RandomWaypoint(sim::Rng rng, const Params& p) {
+  assert(p.maxSpeed > 0 && p.minSpeed > 0 && p.maxSpeed >= p.minSpeed);
+  auto randomPoint = [&] {
+    return Vec2{rng.uniform(0.0, p.field.x), rng.uniform(0.0, p.field.y)};
+  };
+
+  sim::Time t = sim::Time::zero();
+  Vec2 pos = randomPoint();
+  // As in the original CMU model: "each node begins the simulation by
+  // remaining stationary for pause_time seconds" — so a pause time equal to
+  // the run length means no mobility at all (the paper's pause = 500 s).
+  if (p.pause > sim::Time::zero()) {
+    legs_.push_back(Leg{t, t + p.pause, pos, pos});
+    t += p.pause;
+  }
+  while (t < p.horizon) {
+    const Vec2 dest = randomPoint();
+    const double speed = rng.uniform(p.minSpeed, p.maxSpeed);
+    const double dist = distance(pos, dest);
+    const sim::Time travel = sim::Time::fromSeconds(dist / speed);
+    legs_.push_back(Leg{t, t + travel, pos, dest});
+    t += travel;
+    pos = dest;
+    if (p.pause > sim::Time::zero() && t < p.horizon) {
+      legs_.push_back(Leg{t, t + p.pause, pos, pos});
+      t += p.pause;
+    }
+  }
+}
+
+Vec2 RandomWaypoint::positionAt(sim::Time t) const {
+  assert(!legs_.empty());
+  if (t <= legs_.front().start) return legs_.front().from;
+  if (t >= legs_.back().end) return legs_.back().to;
+  // Find the leg containing t: first leg with end > t.
+  auto it = std::upper_bound(
+      legs_.begin(), legs_.end(), t,
+      [](sim::Time v, const Leg& leg) { return v < leg.end; });
+  const Leg& leg = *it;
+  if (leg.end == leg.start) return leg.from;
+  const double frac = (t - leg.start).toSeconds() /
+                      (leg.end - leg.start).toSeconds();
+  return leg.from + (leg.to - leg.from) * frac;
+}
+
+}  // namespace manet::mobility

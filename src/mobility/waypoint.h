@@ -1,0 +1,46 @@
+// Random waypoint mobility (the paper's mobility model).
+//
+// Each node journeys from a random location to a random destination at a
+// speed drawn uniformly from (minSpeed, maxSpeed]; on arrival it pauses for
+// the configured pause time, then picks the next destination. Pause time is
+// the paper's mobility knob: pause 0 s = constant motion, pause >= the run
+// length = a static network.
+#pragma once
+
+#include <vector>
+
+#include "src/mobility/mobility_model.h"
+#include "src/sim/rng.h"
+
+namespace manet::mobility {
+
+class RandomWaypoint final : public MobilityModel {
+ public:
+  struct Params {
+    Vec2 field{2200.0, 600.0};  // paper: 2200 m x 600 m rectangle
+    double minSpeed = 0.1;      // m/s; avoids the RWP zero-speed pathology
+    double maxSpeed = 20.0;     // m/s
+    sim::Time pause = sim::Time::zero();
+    sim::Time horizon = sim::Time::seconds(500);  // trajectory length
+  };
+
+  /// Precomputes the full trajectory up to `params.horizon` from `rng`
+  /// (consumed by value so each node owns an independent stream).
+  RandomWaypoint(sim::Rng rng, const Params& params);
+
+  Vec2 positionAt(sim::Time t) const override;
+
+  /// One motion or pause segment; `from == to` during pauses.
+  struct Leg {
+    sim::Time start;
+    sim::Time end;
+    Vec2 from;
+    Vec2 to;
+  };
+  const std::vector<Leg>& legs() const { return legs_; }
+
+ private:
+  std::vector<Leg> legs_;
+};
+
+}  // namespace manet::mobility

@@ -1,0 +1,21 @@
+#include "src/net/network.h"
+
+namespace manet::net {
+
+Network::Network(const NetworkConfig& cfg, std::uint64_t seed)
+    : cfg_(cfg),
+      rng_(seed),
+      channel_(sched_, cfg.phy),
+      oracle_([this](NodeId id, sim::Time t) { return positionOf(id, t); },
+              cfg.phy.rangeMeters) {}
+
+Node& Network::addNode(std::unique_ptr<mobility::MobilityModel> mobility) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  const NodeConfig nodeCfg{cfg_.mac, cfg_.protocol, cfg_.dsr, cfg_.aodv};
+  nodes_.push_back(std::make_unique<Node>(id, std::move(mobility), channel_,
+                                          sched_, rng_, nodeCfg, &metrics_,
+                                          &oracle_));
+  return *nodes_.back();
+}
+
+}  // namespace manet::net

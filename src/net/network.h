@@ -1,0 +1,60 @@
+// The Network owns the scheduler, channel, nodes and metrics for one run.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/core/dsr_config.h"
+#include "src/mac/dcf_mac.h"
+#include "src/metrics/metrics.h"
+#include "src/metrics/oracle.h"
+#include "src/net/node.h"
+#include "src/phy/channel.h"
+#include "src/sim/rng.h"
+#include "src/sim/scheduler.h"
+
+namespace manet::net {
+
+struct NetworkConfig {
+  phy::PhyConfig phy;
+  mac::MacConfig mac;
+  Protocol protocol = Protocol::kDsr;
+  core::DsrConfig dsr;
+  aodv::AodvConfig aodv;
+};
+
+class Network {
+ public:
+  Network(const NetworkConfig& cfg, std::uint64_t seed);
+
+  /// Add a node with the given trajectory; ids are assigned sequentially
+  /// from 0. All nodes must be added before the simulation runs.
+  Node& addNode(std::unique_ptr<mobility::MobilityModel> mobility);
+
+  Node& node(NodeId id) { return *nodes_.at(id); }
+  const Node& node(NodeId id) const { return *nodes_.at(id); }
+  std::size_t size() const { return nodes_.size(); }
+
+  sim::Scheduler& scheduler() { return sched_; }
+  phy::Channel& channel() { return channel_; }
+  metrics::Metrics& metrics() { return metrics_; }
+  const metrics::LinkOracle& oracle() const { return oracle_; }
+  const sim::Rng& rng() const { return rng_; }
+
+  Vec2 positionOf(NodeId id, sim::Time t) const {
+    return nodes_.at(id)->mobility().positionAt(t);
+  }
+
+  void run(sim::Time until) { sched_.runUntil(until); }
+
+ private:
+  NetworkConfig cfg_;
+  sim::Rng rng_;
+  sim::Scheduler sched_;
+  phy::Channel channel_;
+  metrics::Metrics metrics_;
+  metrics::LinkOracle oracle_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace manet::net

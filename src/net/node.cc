@@ -1,0 +1,28 @@
+#include "src/net/node.h"
+
+namespace manet::net {
+
+Node::Node(NodeId id, std::unique_ptr<mobility::MobilityModel> mobility,
+           phy::Channel& channel, sim::Scheduler& sched,
+           const sim::Rng& baseRng, const NodeConfig& cfg,
+           metrics::Metrics* metrics, const metrics::LinkOracle* oracle)
+    : id_(id),
+      protocol_(cfg.protocol),
+      mobility_(std::move(mobility)),
+      radio_(id, *mobility_, channel, sched),
+      mac_(id, radio_, sched, baseRng.stream("mac", id), cfg.mac, metrics) {
+  switch (cfg.protocol) {
+    case Protocol::kDsr:
+      routing_ = std::make_unique<core::DsrAgent>(
+          id, mac_, sched, baseRng.stream("dsr", id), cfg.dsr, metrics,
+          oracle);
+      break;
+    case Protocol::kAodv:
+      routing_ = std::make_unique<aodv::AodvAgent>(
+          id, mac_, sched, baseRng.stream("aodv", id), cfg.aodv, metrics,
+          oracle);
+      break;
+  }
+}
+
+}  // namespace manet::net

@@ -1,0 +1,75 @@
+// A network node: mobility + radio + MAC + routing agent, wired together.
+#pragma once
+
+#include <cassert>
+#include <memory>
+
+#include "src/aodv/aodv_agent.h"
+#include "src/core/dsr_agent.h"
+#include "src/core/dsr_config.h"
+#include "src/mac/dcf_mac.h"
+#include "src/metrics/metrics.h"
+#include "src/metrics/oracle.h"
+#include "src/mobility/mobility_model.h"
+#include "src/net/routing_agent.h"
+#include "src/phy/channel.h"
+#include "src/phy/radio.h"
+#include "src/sim/rng.h"
+#include "src/sim/scheduler.h"
+
+namespace manet::net {
+
+/// Which routing protocol a network runs.
+enum class Protocol { kDsr, kAodv };
+
+/// Everything a node needs besides its trajectory.
+struct NodeConfig {
+  mac::MacConfig mac;
+  Protocol protocol = Protocol::kDsr;
+  core::DsrConfig dsr;
+  aodv::AodvConfig aodv;
+};
+
+class Node {
+ public:
+  Node(NodeId id, std::unique_ptr<mobility::MobilityModel> mobility,
+       phy::Channel& channel, sim::Scheduler& sched, const sim::Rng& baseRng,
+       const NodeConfig& cfg, metrics::Metrics* metrics,
+       const metrics::LinkOracle* oracle);
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeId id() const { return id_; }
+  Protocol protocol() const { return protocol_; }
+
+  RoutingAgent& routing() { return *routing_; }
+  /// The DSR agent (asserts the node runs DSR).
+  core::DsrAgent& dsr() {
+    assert(protocol_ == Protocol::kDsr);
+    return static_cast<core::DsrAgent&>(*routing_);
+  }
+  const core::DsrAgent& dsr() const {
+    assert(protocol_ == Protocol::kDsr);
+    return static_cast<const core::DsrAgent&>(*routing_);
+  }
+  /// The AODV agent (asserts the node runs AODV).
+  aodv::AodvAgent& aodv() {
+    assert(protocol_ == Protocol::kAodv);
+    return static_cast<aodv::AodvAgent&>(*routing_);
+  }
+
+  mac::DcfMac& macLayer() { return mac_; }
+  phy::Radio& radio() { return radio_; }
+  const mobility::MobilityModel& mobility() const { return *mobility_; }
+
+ private:
+  NodeId id_;
+  Protocol protocol_;
+  std::unique_ptr<mobility::MobilityModel> mobility_;
+  phy::Radio radio_;
+  mac::DcfMac mac_;
+  std::unique_ptr<RoutingAgent> routing_;
+};
+
+}  // namespace manet::net

@@ -1,0 +1,73 @@
+#include "src/net/packet.h"
+
+#include <atomic>
+#include <unordered_set>
+
+namespace manet::net {
+
+const char* toString(PacketKind k) {
+  switch (k) {
+    case PacketKind::kData:
+      return "DATA";
+    case PacketKind::kRouteRequest:
+      return "RREQ";
+    case PacketKind::kRouteReply:
+      return "RREP";
+    case PacketKind::kRouteError:
+      return "RERR";
+  }
+  return "?";
+}
+
+std::uint32_t Packet::wireBytes() const {
+  // DSR fixed header (4 B) plus per-option costs modeled after the draft:
+  // source route option 4 B + 4 B/hop; rreq/rrep/rerr similar.
+  std::uint32_t bytes = payloadBytes + 4;
+  if (route) bytes += 4 + 4 * static_cast<std::uint32_t>(route->hops.size());
+  if (rreq) bytes += 8 + 4 * static_cast<std::uint32_t>(rreq->path.size()) +
+                     (rreq->piggybackedError ? 12 : 0);
+  if (rrep) bytes += 4 + 4 * static_cast<std::uint32_t>(rrep->route.size());
+  if (rerr) bytes += 12;
+  if (aodvRreq) bytes += 24;  // RFC 3561 RREQ size
+  if (aodvRrep) bytes += 20;
+  if (aodvRerr) {
+    bytes += 4 + 8 * static_cast<std::uint32_t>(aodvRerr->unreachable.size());
+  }
+  if (transport) bytes += 12;
+  return bytes;
+}
+
+std::string Packet::summary() const {
+  std::string s = toString(kind);
+  s += " uid=" + std::to_string(uid) + " " + std::to_string(src) + "->" +
+       (dst == kBroadcast ? std::string("*") : std::to_string(dst));
+  return s;
+}
+
+std::shared_ptr<Packet> Packet::make() {
+  static std::atomic<std::uint64_t> nextUid{1};
+  auto p = std::make_shared<Packet>();
+  p->uid = nextUid.fetch_add(1, std::memory_order_relaxed);
+  return p;
+}
+
+std::shared_ptr<Packet> clone(const Packet& p) {
+  return std::make_shared<Packet>(p);  // uid preserved: same logical packet
+}
+
+bool routeContainsLink(std::span<const NodeId> hops, LinkId link) {
+  for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
+    if (hops[i] == link.from && hops[i + 1] == link.to) return true;
+  }
+  return false;
+}
+
+bool routeHasDuplicates(std::span<const NodeId> hops) {
+  std::unordered_set<NodeId> seen;
+  for (NodeId n : hops) {
+    if (!seen.insert(n).second) return true;
+  }
+  return false;
+}
+
+}  // namespace manet::net

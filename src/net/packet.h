@@ -1,0 +1,186 @@
+// Network-layer packet model: DSR headers and source routes.
+//
+// DSR is a source-routing protocol: every data packet carries the complete
+// hop list in its header, and the three control packet types (route request,
+// route reply, route error) carry accumulated or cached routes. We model the
+// headers as plain structs; wireBytes() charges the byte cost a real header
+// would add so that MAC transmission times and channel load are realistic.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace manet::net {
+
+using NodeId = std::uint32_t;
+/// MAC-level broadcast address.
+inline constexpr NodeId kBroadcast = 0xffffffffu;
+
+/// A directed link `from -> to`. DSR route errors name exactly one broken
+/// link; caches index on it.
+struct LinkId {
+  NodeId from = 0;
+  NodeId to = 0;
+  constexpr auto operator<=>(const LinkId&) const = default;
+};
+
+struct LinkIdHash {
+  std::size_t operator()(const LinkId& l) const {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(l.from) << 32) | l.to);
+  }
+};
+
+/// The complete route a source-routed packet follows, including the source
+/// at hops.front() and the destination at hops.back(). `cursor` is the index
+/// of the node currently holding the packet.
+struct SourceRoute {
+  std::vector<NodeId> hops;
+  std::size_t cursor = 0;
+
+  bool atDestination() const { return cursor + 1 >= hops.size(); }
+  NodeId nextHop() const { return hops.at(cursor + 1); }
+  NodeId source() const { return hops.front(); }
+  NodeId destination() const { return hops.back(); }
+};
+
+enum class PacketKind : std::uint8_t {
+  kData,
+  kRouteRequest,
+  kRouteReply,
+  kRouteError,
+};
+
+const char* toString(PacketKind k);
+
+/// Route request (flooded). `path` accumulates the traversed nodes,
+/// starting with the originator; each forwarder appends itself before
+/// rebroadcast.
+struct RouteRequestHdr {
+  NodeId origin = 0;
+  NodeId target = 0;
+  std::uint32_t id = 0;  // per-origin discovery id, for duplicate suppression
+  std::uint8_t ttl = 255;
+  std::vector<NodeId> path;
+  /// Gratuitous route repair: a recent route error piggybacked by the origin
+  /// so caches along the flood can purge the broken link.
+  std::optional<LinkId> piggybackedError;
+};
+
+/// Route reply (unicast back to the originator over the reversed request
+/// path, carried in the packet's SourceRoute). `route` is the full
+/// origin -> target route being reported.
+struct RouteReplyHdr {
+  std::vector<NodeId> route;
+  NodeId replier = 0;
+  bool fromCache = false;  // true when generated from an intermediate cache
+  /// Freshness-tagging extension (the paper's future work: "so that the
+  /// relative freshness of cached routes can be determined"): targets stamp
+  /// their replies with a monotonically increasing per-target sequence
+  /// number; cached replies carry the stamp the cache learned. Receivers
+  /// ignore information older than what they already hold.
+  std::uint32_t freshness = 0;
+};
+
+/// Route error: link `broken` failed, detected by `detector`. In base DSR it
+/// is unicast to the source of the failed packet; with wider error
+/// notification it is broadcast and selectively re-broadcast.
+struct RouteErrorHdr {
+  LinkId broken;
+  NodeId detector = 0;
+  std::uint32_t errorId = 0;  // per-detector id, dedups wide rebroadcasts
+};
+
+/// AODV route request (flooded). Unlike DSR, no path accumulates; nodes
+/// build reverse-route table entries hop by hop instead.
+struct AodvRreqHdr {
+  NodeId origin = 0;
+  std::uint32_t originSeq = 0;
+  std::uint32_t rreqId = 0;  // per-origin, for duplicate suppression
+  NodeId target = 0;
+  std::uint32_t targetSeq = 0;  // last known; 0 + unknown flag if none
+  bool unknownTargetSeq = true;
+  std::uint8_t hopCount = 0;
+  std::uint8_t ttl = 64;
+};
+
+/// AODV route reply, unicast hop-by-hop along reverse-route entries.
+struct AodvRrepHdr {
+  NodeId origin = 0;  // requester the reply travels to
+  NodeId target = 0;  // destination the route leads to
+  std::uint32_t targetSeq = 0;
+  std::uint8_t hopCount = 0;  // distance from the transmitter to target
+  bool fromIntermediate = false;  // answered from a route table, not target
+};
+
+/// AODV route error: destinations that became unreachable through the
+/// transmitter, each with its invalidated sequence number.
+struct AodvRerrHdr {
+  std::vector<std::pair<NodeId, std::uint32_t>> unreachable;
+};
+
+/// Transport-layer header for the reliable (TCP-like) transport extension.
+/// Data segments and ACKs are ordinary DSR data packets to the routing
+/// layer; this header rides on top.
+struct TransportHdr {
+  std::uint32_t connId = 0;
+  bool isAck = false;
+  std::uint64_t seq = 0;    // first byte/segment index of this segment
+  std::uint64_t ackNo = 0;  // cumulative: next expected segment index
+};
+
+/// A network-layer packet. Immutable once handed to the MAC (shared_ptr to
+/// const); forwarding nodes copy-and-advance the route cursor.
+struct Packet {
+  std::uint64_t uid = 0;  // globally unique, assigned by Packet::make
+  PacketKind kind = PacketKind::kData;
+  NodeId src = 0;  // original source (network-level, not per-hop)
+  NodeId dst = kBroadcast;
+  std::uint32_t payloadBytes = 0;  // application payload (512 B in the paper)
+  sim::Time originatedAt;          // when the application generated it
+
+  /// Present for data, replies and unicast errors; absent for requests and
+  /// broadcast errors.
+  std::optional<SourceRoute> route;
+  std::optional<RouteRequestHdr> rreq;
+  std::optional<RouteReplyHdr> rrep;
+  std::optional<RouteErrorHdr> rerr;
+  std::optional<AodvRreqHdr> aodvRreq;
+  std::optional<AodvRrepHdr> aodvRrep;
+  std::optional<AodvRerrHdr> aodvRerr;
+  std::optional<TransportHdr> transport;
+
+  int salvageCount = 0;  // times intermediate nodes re-routed this packet
+
+  // Traffic bookkeeping for metrics.
+  std::uint32_t flowId = 0;
+  std::uint64_t seqInFlow = 0;
+
+  /// Bytes on the wire: payload + DSR header cost (4 bytes per listed hop
+  /// plus a fixed part, per the DSR draft's option formats).
+  std::uint32_t wireBytes() const;
+
+  std::string summary() const;
+
+  /// Allocate a packet with a fresh uid.
+  static std::shared_ptr<Packet> make();
+};
+
+using PacketPtr = std::shared_ptr<const Packet>;
+
+/// Deep-copy for forwarding (advance cursor, piggyback, salvage rewrites).
+std::shared_ptr<Packet> clone(const Packet& p);
+
+/// True if `hops` contains the directed link a->b adjacently.
+bool routeContainsLink(std::span<const NodeId> hops, LinkId link);
+
+/// True if any node appears twice (source-routing must stay loop-free).
+bool routeHasDuplicates(std::span<const NodeId> hops);
+
+}  // namespace manet::net

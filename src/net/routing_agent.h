@@ -1,0 +1,24 @@
+// Abstract routing agent: what the traffic layer and node assembly need
+// from a routing protocol. Implemented by DSR (the paper's subject) and by
+// AODV (the comparison protocol of the paper's companion studies, which
+// "uses caching indirectly when intermediate nodes generate route replies").
+#pragma once
+
+#include <cstdint>
+
+#include "src/net/packet.h"
+
+namespace manet::net {
+
+class RoutingAgent {
+ public:
+  virtual ~RoutingAgent() = default;
+
+  /// Application entry point: send `payloadBytes` of data to `dst`.
+  virtual void sendData(NodeId dst, std::uint32_t payloadBytes,
+                        std::uint32_t flowId, std::uint64_t seqInFlow) = 0;
+
+  virtual NodeId id() const = 0;
+};
+
+}  // namespace manet::net

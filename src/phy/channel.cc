@@ -1,0 +1,63 @@
+#include "src/phy/channel.h"
+
+#include <algorithm>
+
+#include "src/phy/radio.h"
+
+namespace manet::phy {
+
+sim::Time Channel::transmit(Radio& sender, const mac::Frame& f) {
+  const sim::Time now = sched_.now();
+  const sim::Time dur = txDuration(f.bytes());
+  const sim::Time end = now + dur;
+  const Vec2 pos = sender.position();
+  const std::uint64_t txId = nextTxId_++;
+
+  prune();
+  active_.push_back(ActiveTx{&sender, pos, end});
+
+  for (Radio* r : radios_) {
+    if (r == &sender) continue;
+    // In-range test uses positions at transmission start. Frames last
+    // microseconds; node movement within a frame is negligible (< 1 mm at
+    // 20 m/s).
+    const double d = distance(pos, r->position());
+    if (d > cfg_.rangeMeters) continue;
+    sched_.scheduleAt(now + cfg_.propagationDelay,
+                      [r, txId, d] { r->rxStart(txId, d); });
+    // Copy the frame into the end event: the sender's copy may be reused.
+    sched_.scheduleAt(end + cfg_.propagationDelay,
+                      [r, txId, f] { r->rxEnd(txId, f); });
+  }
+  return end;
+}
+
+bool Channel::carrierBusy(const Radio& r) const {
+  prune();
+  const Vec2 pos = r.position();
+  for (const ActiveTx& tx : active_) {
+    if (tx.sender == &r) return true;  // transmitting ourselves
+    if (distance(tx.senderPos, pos) <= cfg_.rangeMeters) return true;
+  }
+  return false;
+}
+
+sim::Time Channel::busyUntil(const Radio& r) const {
+  prune();
+  sim::Time latest = sched_.now();
+  const Vec2 pos = r.position();
+  for (const ActiveTx& tx : active_) {
+    if (tx.sender != &r && distance(tx.senderPos, pos) > cfg_.rangeMeters) {
+      continue;
+    }
+    latest = std::max(latest, tx.end);
+  }
+  return latest;
+}
+
+void Channel::prune() const {
+  const sim::Time now = sched_.now();
+  std::erase_if(active_, [now](const ActiveTx& tx) { return tx.end < now; });
+}
+
+}  // namespace manet::phy

@@ -1,0 +1,84 @@
+// Shared wireless channel with a disc propagation model.
+//
+// Models the paper's WaveLAN radio: 2 Mb/s shared medium, 250 m nominal
+// range. Every transmission is heard by all radios within range of the
+// transmitter's position at transmission start; overlapping receptions at a
+// radio corrupt each other (receiver-side collision), which is what makes
+// hidden terminals, request storms and congestion behave realistically.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/mac/frame.h"
+#include "src/sim/scheduler.h"
+#include "src/util/vec2.h"
+
+namespace manet::phy {
+
+struct PhyConfig {
+  double rangeMeters = 250.0;   // nominal WaveLAN range
+  double bitRateBps = 2e6;      // nominal WaveLAN bit rate
+  /// Fixed per-frame physical-layer overhead (PLCP preamble + header time).
+  sim::Time phyOverhead = sim::Time::micros(192);
+  /// Propagation delay; 250 m at light speed is ~0.83 us.
+  sim::Time propagationDelay = sim::Time::micros(1);
+  /// Capture effect, as in the CMU ns-2 wireless PHY: an ongoing reception
+  /// survives an overlapping arrival whose power is `captureThreshold`
+  /// times weaker (power falls off as distance^-pathLossExponent).
+  bool captureEffect = true;
+  double captureThreshold = 10.0;  // ns-2 CPThresh
+  double pathLossExponent = 4.0;   // two-ray ground regime at these ranges
+};
+
+class Radio;
+
+class Channel {
+ public:
+  Channel(sim::Scheduler& sched, PhyConfig cfg)
+      : sched_(sched), cfg_(cfg) {}
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Register a radio. The pointer must outlive the channel's use.
+  void attach(Radio* r) { radios_.push_back(r); }
+
+  /// Begin transmitting `f` from `sender`; schedules reception start/end at
+  /// every radio in range. Returns when the transmission will end.
+  sim::Time transmit(Radio& sender, const mac::Frame& f);
+
+  /// Carrier sense for `r`: true if any ongoing transmission (including its
+  /// own) is audible at `r` right now.
+  bool carrierBusy(const Radio& r) const;
+
+  /// Latest end time among transmissions currently audible at `r`
+  /// (now() if the medium is free). MAC uses this to re-defer.
+  sim::Time busyUntil(const Radio& r) const;
+
+  /// Airtime for a frame of `bytes` bytes, including PHY overhead.
+  sim::Time txDuration(std::uint32_t bytes) const {
+    return cfg_.phyOverhead +
+           sim::Time::fromSeconds(static_cast<double>(bytes) * 8.0 /
+                                  cfg_.bitRateBps);
+  }
+
+  const PhyConfig& config() const { return cfg_; }
+  sim::Scheduler& scheduler() { return sched_; }
+
+ private:
+  struct ActiveTx {
+    const Radio* sender;
+    Vec2 senderPos;
+    sim::Time end;
+  };
+
+  void prune() const;
+
+  sim::Scheduler& sched_;
+  PhyConfig cfg_;
+  std::vector<Radio*> radios_;
+  mutable std::vector<ActiveTx> active_;
+  std::uint64_t nextTxId_ = 1;
+};
+
+}  // namespace manet::phy

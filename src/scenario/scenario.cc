@@ -1,0 +1,73 @@
+#include "src/scenario/scenario.h"
+
+#include <chrono>
+
+#include "src/mobility/waypoint.h"
+#include "src/sim/rng.h"
+
+namespace manet::scenario {
+
+Scenario::Scenario(const ScenarioConfig& cfg) : cfg_(cfg) {
+  net::NetworkConfig netCfg{cfg.phy, cfg.mac, cfg.protocol, cfg.dsr,
+                            cfg.aodv};
+  // Seed the network (MAC jitter, DSR jitter) from the mobility seed so a
+  // different replication is a genuinely different random world, while the
+  // traffic pattern below stays fixed across replications.
+  network_ = std::make_unique<net::Network>(netCfg, cfg.mobilitySeed);
+
+  sim::Rng mobilityRng(cfg.mobilitySeed);
+  mobility::RandomWaypoint::Params wp;
+  wp.field = cfg.field;
+  wp.minSpeed = cfg.minSpeed;
+  wp.maxSpeed = cfg.maxSpeed;
+  wp.pause = cfg.pause;
+  wp.horizon = cfg.duration;
+  for (int i = 0; i < cfg.numNodes; ++i) {
+    network_->addNode(std::make_unique<mobility::RandomWaypoint>(
+        mobilityRng.stream("waypoint", static_cast<std::uint64_t>(i)), wp));
+  }
+
+  // Traffic: source-destination pairs spread randomly over the network,
+  // fixed by the traffic seed.
+  sim::Rng trafficRng(cfg.trafficSeed);
+  for (int f = 0; f < cfg.numFlows; ++f) {
+    net::NodeId src, dst;
+    do {
+      src = static_cast<net::NodeId>(
+          trafficRng.uniformInt(0, cfg.numNodes - 1));
+      dst = static_cast<net::NodeId>(
+          trafficRng.uniformInt(0, cfg.numNodes - 1));
+    } while (src == dst);
+    flowEndpoints_.emplace_back(src, dst);
+
+    traffic::CbrSource::Params p;
+    p.dst = dst;
+    p.packetsPerSecond = cfg.packetsPerSecond;
+    p.payloadBytes = cfg.payloadBytes;
+    p.start = sim::Time::nanos(trafficRng.uniformInt(
+        1, std::max<std::int64_t>(1, cfg.flowStartWindow.ns())));
+    p.stop = cfg.duration;
+    p.flowId = static_cast<std::uint32_t>(f);
+    sources_.push_back(std::make_unique<traffic::CbrSource>(
+        network_->node(src).routing(), network_->scheduler(), p));
+  }
+}
+
+RunResult Scenario::run() {
+  const auto wallStart = std::chrono::steady_clock::now();
+  network_->run(cfg_.duration);
+  const auto wallEnd = std::chrono::steady_clock::now();
+  RunResult r;
+  r.metrics = network_->metrics();
+  r.duration = cfg_.duration;
+  r.eventsExecuted = network_->scheduler().executedCount();
+  r.wallSeconds = std::chrono::duration<double>(wallEnd - wallStart).count();
+  return r;
+}
+
+RunResult runScenario(const ScenarioConfig& cfg) {
+  Scenario s(cfg);
+  return s.run();
+}
+
+}  // namespace manet::scenario

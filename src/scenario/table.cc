@@ -1,0 +1,72 @@
+#include "src/scenario/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace manet::scenario {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::addRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::str() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string{};
+      out << cell << std::string(widths[i] - cell.size() + 2, ' ');
+    }
+    out << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (auto w : widths) total += w + 2;
+  out << std::string(total, '-') << '\n';
+  for (const auto& r : rows_) emit(r);
+  return out.str();
+}
+
+std::string Table::csv() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out << ',';
+      out << row[i];
+    }
+    out << '\n';
+  };
+  emit(header_);
+  for (const auto& r : rows_) emit(r);
+  return out.str();
+}
+
+void Table::print(const std::string& title, const std::string& csvPath) const {
+  std::printf("\n== %s ==\n%s", title.c_str(), str().c_str());
+  if (!csvPath.empty()) {
+    std::ofstream f(csvPath);
+    f << csv();
+    std::printf("(csv written to %s)\n", csvPath.c_str());
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace manet::scenario

@@ -1,0 +1,31 @@
+// Aligned text tables and CSV output for the bench harnesses, so each bench
+// prints the same rows/series the paper's figures and tables report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace manet::scenario {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void addRow(std::vector<std::string> row);
+  /// Convenience: format doubles with fixed precision.
+  static std::string num(double v, int precision = 3);
+
+  /// Render with aligned columns.
+  std::string str() const;
+  /// Render as CSV (for plotting).
+  std::string csv() const;
+
+  /// Print both table (stdout) and, if `csvPath` is non-empty, write CSV.
+  void print(const std::string& title, const std::string& csvPath = "") const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace manet::scenario

@@ -1,0 +1,50 @@
+#include "src/sim/rng.h"
+
+namespace manet::sim {
+namespace {
+
+// FNV-1a, stable across platforms (std::hash is not guaranteed stable).
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// splitmix64 finalizer: decorrelates nearby seeds.
+std::uint64_t mix(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng Rng::stream(std::string_view name, std::uint64_t salt) const {
+  return Rng(mix(seed_ ^ fnv1a(name) ^ mix(salt)));
+}
+
+double Rng::uniform() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(gen_);
+}
+
+double Rng::uniform(double lo, double hi) {
+  return std::uniform_real_distribution<double>(lo, hi)(gen_);
+}
+
+std::int64_t Rng::uniformInt(std::int64_t lo, std::int64_t hi) {
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(gen_);
+}
+
+double Rng::exponential(double mean) {
+  return std::exponential_distribution<double>(1.0 / mean)(gen_);
+}
+
+bool Rng::bernoulli(double p) {
+  return std::bernoulli_distribution(p)(gen_);
+}
+
+}  // namespace manet::sim

@@ -1,0 +1,42 @@
+// Deterministic random-number streams.
+//
+// Every consumer of randomness (mobility, traffic, MAC jitter, each DSR
+// agent) owns a named stream derived from the scenario seed. This lets the
+// experiment harness vary the mobility pattern across replications while
+// holding the traffic pattern fixed, exactly as the paper does ("identical
+// traffic models, but different randomly generated mobility scenarios").
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string_view>
+
+namespace manet::sim {
+
+/// A self-contained pseudo-random stream (mt19937_64 under the hood).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : seed_(seed), gen_(seed) {}
+
+  /// Derive an independent child stream. The child's seed mixes this
+  /// stream's seed with a hash of `name`; the parent state is not consumed.
+  Rng stream(std::string_view name, std::uint64_t salt = 0) const;
+
+  /// Uniform double in [0, 1).
+  double uniform();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+  /// Exponentially distributed value with the given mean.
+  double exponential(double mean);
+  bool bernoulli(double p);
+
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::uint64_t seed_ = 0;
+  std::mt19937_64 gen_;
+};
+
+}  // namespace manet::sim

@@ -1,0 +1,38 @@
+#include "src/sim/scheduler.h"
+
+#include <cassert>
+#include <utility>
+
+namespace manet::sim {
+
+EventId Scheduler::scheduleAt(Time at, std::function<void()> fn) {
+  assert(at >= now_ && "cannot schedule in the past");
+  const EventId id = nextId_++;
+  queue_.push(Entry{at, id, std::move(fn)});
+  return id;
+}
+
+void Scheduler::cancel(EventId id) {
+  if (id != kInvalidEvent) cancelled_.insert(id);
+}
+
+void Scheduler::runUntil(Time until) {
+  while (!queue_.empty()) {
+    const Entry& top = queue_.top();
+    if (top.at > until) break;
+    if (cancelled_.erase(top.id) > 0) {
+      queue_.pop();
+      continue;
+    }
+    // Move the handler out before popping so it may schedule/cancel freely.
+    Time at = top.at;
+    std::function<void()> fn = std::move(const_cast<Entry&>(top).fn);
+    queue_.pop();
+    now_ = at;
+    ++executed_;
+    fn();
+  }
+  if (now_ < until && until != Time::max()) now_ = until;
+}
+
+}  // namespace manet::sim

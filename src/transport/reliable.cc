@@ -1,0 +1,200 @@
+#include "src/transport/reliable.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace manet::transport {
+
+// ---------------------------------------------------------------- receiver
+
+ReliableReceiver::ReliableReceiver(core::DsrAgent& agent,
+                                   std::uint32_t connId)
+    : agent_(agent), connId_(connId) {
+  agent_.addDeliveryHandler([this](const net::Packet& p) { onSegment(p); });
+}
+
+void ReliableReceiver::onSegment(const net::Packet& p) {
+  if (!p.transport || p.transport->isAck) return;
+  if (p.transport->connId != connId_) return;
+  const std::uint64_t seq = p.transport->seq;
+  if (seq == nextExpected_) {
+    ++nextExpected_;
+    ++segmentsReceived_;
+    // Drain any buffered successors.
+    while (!outOfOrder_.empty() && *outOfOrder_.begin() == nextExpected_) {
+      outOfOrder_.erase(outOfOrder_.begin());
+      ++nextExpected_;
+      ++segmentsReceived_;
+    }
+  } else if (seq > nextExpected_) {
+    outOfOrder_.insert(seq);  // duplicates collapse in the set
+  }
+  sendAck(p.src, 0);
+}
+
+void ReliableReceiver::sendAck(net::NodeId to, std::uint32_t) {
+  auto ack = net::Packet::make();
+  ack->kind = net::PacketKind::kData;
+  ack->src = agent_.id();
+  ack->dst = to;
+  ack->payloadBytes = 40;  // TCP ACK-sized
+  ack->transport = net::TransportHdr{
+      .connId = connId_, .isAck = true, .seq = 0, .ackNo = nextExpected_};
+  agent_.sendPacket(std::move(ack));
+}
+
+// ------------------------------------------------------------------ sender
+
+ReliableSender::ReliableSender(core::DsrAgent& agent, sim::Scheduler& sched,
+                               net::NodeId peer, std::uint32_t connId,
+                               std::uint64_t totalSegments,
+                               const ReliableConfig& cfg)
+    : agent_(agent),
+      sched_(sched),
+      peer_(peer),
+      connId_(connId),
+      totalSegments_(totalSegments),
+      cfg_(cfg),
+      cwnd_(cfg.initialCwnd),
+      ssthresh_(cfg.initialSsthresh),
+      rto_(cfg.initialRto) {
+  agent_.addDeliveryHandler([this](const net::Packet& p) { onDelivery(p); });
+}
+
+void ReliableSender::start() {
+  startedAt_ = sched_.now();
+  trySend();
+}
+
+double ReliableSender::goodputKbps(sim::Time now) const {
+  // For a finished transfer, measure over the actual transfer duration.
+  const sim::Time end = finishedAt_ ? std::min(*finishedAt_, now) : now;
+  const double secs = (end - startedAt_).toSeconds();
+  if (secs <= 0.0) return 0.0;
+  return static_cast<double>(sndUna_) * cfg_.segmentBytes * 8.0 / 1000.0 /
+         secs;
+}
+
+void ReliableSender::onDelivery(const net::Packet& p) {
+  if (!p.transport || !p.transport->isAck) return;
+  if (p.transport->connId != connId_ || p.src != peer_) return;
+  onAck(p.transport->ackNo);
+}
+
+void ReliableSender::onAck(std::uint64_t ackNo) {
+  if (ackNo > sndUna_) {
+    // New data acknowledged.
+    const std::uint64_t newlyAcked = ackNo - sndUna_;
+    for (std::uint64_t s = sndUna_; s < ackNo; ++s) {
+      auto it = sendTimes_.find(s);
+      if (it != sendTimes_.end()) {
+        updateRtt(sched_.now() - it->second);
+        sendTimes_.erase(it);
+      }
+    }
+    sndUna_ = ackNo;
+    // A cumulative ACK can jump past a rewound sndNext_ (the receiver had
+    // later segments buffered); never let the window math underflow.
+    sndNext_ = std::max(sndNext_, sndUna_);
+    dupAcks_ = 0;
+    if (sndUna_ >= totalSegments_ && !finishedAt_) finishedAt_ = sched_.now();
+    // Window growth: slow start below ssthresh, else congestion avoidance.
+    for (std::uint64_t i = 0; i < newlyAcked; ++i) {
+      if (cwnd_ < ssthresh_) {
+        cwnd_ += 1.0;
+      } else {
+        cwnd_ += 1.0 / cwnd_;
+      }
+    }
+    cwnd_ = std::min(cwnd_, cfg_.maxCwnd);
+    armTimer();
+    trySend();
+    return;
+  }
+  if (ackNo == sndUna_ && sndNext_ > sndUna_) {
+    // Duplicate ACK: the receiver is missing sndUna_.
+    if (++dupAcks_ == cfg_.dupAckThreshold) {
+      // Fast retransmit (Tahoe: shrink to slow start and go back to the
+      // hole — everything past it will be resent as the window reopens).
+      ssthresh_ = std::max(2.0, cwnd_ / 2.0);
+      cwnd_ = cfg_.initialCwnd;
+      dupAcks_ = 0;
+      ++retransmissions_;
+      sendSegment(sndUna_, /*isRetransmit=*/true);
+      sndNext_ = sndUna_ + 1;
+      armTimer();
+    }
+  }
+}
+
+void ReliableSender::trySend() {
+  while (sndNext_ < totalSegments_ &&
+         static_cast<double>(sndNext_ - sndUna_) < cwnd_) {
+    // Segments below the high-water mark are go-back-N resends: Karn's
+    // rule excludes them from RTT sampling.
+    sendSegment(sndNext_, /*isRetransmit=*/sndNext_ < sndMax_);
+    ++sndNext_;
+    sndMax_ = std::max(sndMax_, sndNext_);
+  }
+  if (timer_ == sim::kInvalidEvent && sndNext_ > sndUna_) armTimer();
+}
+
+void ReliableSender::sendSegment(std::uint64_t seq, bool isRetransmit) {
+  auto p = net::Packet::make();
+  p->kind = net::PacketKind::kData;
+  p->src = agent_.id();
+  p->dst = peer_;
+  p->payloadBytes = cfg_.segmentBytes;
+  p->flowId = connId_;
+  p->seqInFlow = seq;
+  p->transport = net::TransportHdr{
+      .connId = connId_, .isAck = false, .seq = seq, .ackNo = 0};
+  if (isRetransmit) {
+    sendTimes_.erase(seq);  // Karn: never sample RTT off retransmits
+  } else {
+    sendTimes_.emplace(seq, sched_.now());
+  }
+  agent_.sendPacket(std::move(p));
+}
+
+void ReliableSender::armTimer() {
+  sched_.cancel(timer_);
+  timer_ = sim::kInvalidEvent;
+  if (sndUna_ >= totalSegments_ || sndNext_ == sndUna_) return;
+  timer_ = sched_.scheduleAfter(rto_, [this] { onTimeout(); });
+}
+
+void ReliableSender::onTimeout() {
+  timer_ = sim::kInvalidEvent;
+  if (sndUna_ >= sndNext_) return;  // everything acked meanwhile
+  ++timeouts_;
+  ++retransmissions_;
+  // Tahoe reaction: halve ssthresh, collapse the window, back off the RTO,
+  // and go back to the hole (cumulative ACKs make later segments resend as
+  // slow start reopens the window).
+  ssthresh_ = std::max(2.0, cwnd_ / 2.0);
+  cwnd_ = cfg_.initialCwnd;
+  dupAcks_ = 0;
+  rto_ = std::min(rto_ + rto_, cfg_.maxRto);  // exponential backoff
+  sendSegment(sndUna_, /*isRetransmit=*/true);
+  sndNext_ = sndUna_ + 1;
+  armTimer();
+}
+
+void ReliableSender::updateRtt(sim::Time sample) {
+  const double r = sample.toSeconds();
+  if (!rttValid_) {
+    srttSec_ = r;
+    rttvarSec_ = r / 2.0;
+    rttValid_ = true;
+  } else {
+    // Jacobson/Karels: alpha = 1/8, beta = 1/4.
+    rttvarSec_ = 0.75 * rttvarSec_ + 0.25 * std::abs(srttSec_ - r);
+    srttSec_ = 0.875 * srttSec_ + 0.125 * r;
+  }
+  const double rtoSec = srttSec_ + 4.0 * rttvarSec_;
+  rto_ = std::clamp(sim::Time::fromSeconds(rtoSec), cfg_.minRto, cfg_.maxRto);
+}
+
+}  // namespace manet::transport

@@ -1,0 +1,19 @@
+#include "src/util/logging.h"
+
+#include <cstdio>
+
+namespace manet::util {
+namespace {
+LogLevel g_level = LogLevel::kNone;
+}
+
+LogLevel logLevel() { return g_level; }
+void setLogLevel(LogLevel level) { g_level = level; }
+
+void logLine(LogLevel level, std::string_view msg) {
+  static constexpr const char* kNames[] = {"", "E", "I", "D", "T"};
+  std::fprintf(stderr, "[%s] %.*s\n", kNames[static_cast<int>(level)],
+               static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace manet::util

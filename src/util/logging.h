@@ -1,0 +1,40 @@
+// Minimal leveled logging for simulator tracing.
+//
+// Logging is off by default (benches run millions of events); tests and
+// examples can raise the level to trace protocol behaviour. printf-style
+// formatting (libstdc++ 12 has no <format>).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace manet::util {
+
+enum class LogLevel { kNone = 0, kError, kInfo, kDebug, kTrace };
+
+LogLevel logLevel();
+void setLogLevel(LogLevel level);
+
+void logLine(LogLevel level, std::string_view msg);
+
+template <typename... Args>
+void log(LogLevel level, const char* fmt, Args... args) {
+  if (level > logLevel()) return;
+  if constexpr (sizeof...(Args) == 0) {
+    logLine(level, fmt);
+  } else {
+    char buf[512];
+    std::snprintf(buf, sizeof(buf), fmt, args...);
+    logLine(level, buf);
+  }
+}
+
+#define MANET_TRACE(...) \
+  ::manet::util::log(::manet::util::LogLevel::kTrace, __VA_ARGS__)
+#define MANET_DEBUG(...) \
+  ::manet::util::log(::manet::util::LogLevel::kDebug, __VA_ARGS__)
+#define MANET_INFO(...) \
+  ::manet::util::log(::manet::util::LogLevel::kInfo, __VA_ARGS__)
+
+}  // namespace manet::util

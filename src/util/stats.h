@@ -1,0 +1,57 @@
+// Online statistics helpers used by metrics collection and the benches.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace manet::util {
+
+/// Welford online mean/variance accumulator with min/max tracking.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& o);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  double variance() const;  // sample variance (n-1); 0 if n < 2
+  double stddev() const;
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-bin histogram over [lo, hi); out-of-range samples clamp to the
+/// first/last bin. Used for link-lifetime and delay distributions.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t totalCount() const { return total_; }
+  std::size_t binCount(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const { return counts_.size(); }
+  double binLow(std::size_t i) const;
+  /// Linear-interpolated quantile in [0,1]; 0 if empty.
+  double quantile(double q) const;
+  std::string ascii(std::size_t width = 40) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Exact quantile over a stored sample set (fine for per-run aggregates).
+double quantile(std::vector<double> xs, double q);
+
+}  // namespace manet::util

@@ -1,0 +1,24 @@
+// 2-D geometry primitives used by mobility and the radio channel.
+#pragma once
+
+#include <cmath>
+
+namespace manet {
+
+/// A point or displacement in the simulation plane, in meters.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr bool operator==(const Vec2&) const = default;
+
+  double norm() const { return std::hypot(x, y); }
+};
+
+/// Euclidean distance between two points, in meters.
+inline double distance(Vec2 a, Vec2 b) { return (a - b).norm(); }
+
+}  // namespace manet

@@ -1,0 +1,217 @@
+// AODV protocol tests: discovery, hop-by-hop forwarding, sequence-number
+// freshness, intermediate replies and error handling.
+#include "src/aodv/aodv_agent.h"
+
+#include <gtest/gtest.h>
+
+#include "src/scenario/scenario.h"
+#include "tests/testing/dsr_fixture.h"
+
+namespace manet::aodv {
+namespace {
+
+using sim::Time;
+
+// An AODV-flavored fixture mirroring testing::DsrFixture.
+struct AodvFixture {
+  explicit AodvFixture(const AodvConfig& cfg = {}, std::uint64_t seed = 1) {
+    net::NetworkConfig nc;
+    nc.protocol = net::Protocol::kAodv;
+    nc.aodv = cfg;
+    network = std::make_unique<net::Network>(nc, seed);
+  }
+  net::Node& addStatic(Vec2 pos) {
+    return network->addNode(std::make_unique<mobility::StaticMobility>(pos));
+  }
+  net::Node& addTeleport(Vec2 a, Vec2 b, sim::Time at) {
+    return network->addNode(
+        std::make_unique<manet::testing::TeleportMobility>(a, b, at));
+  }
+  void addLine(int n, double spacing = 200.0) {
+    for (int i = 0; i < n; ++i) addStatic({i * spacing, 0.0});
+  }
+  void run(sim::Time until) { network->run(until); }
+  metrics::Metrics& metrics() { return network->metrics(); }
+  AodvAgent& aodv(net::NodeId id) { return network->node(id).aodv(); }
+
+  std::unique_ptr<net::Network> network;
+};
+
+TEST(AodvTest, MultiHopDiscoveryAndDelivery) {
+  AodvFixture fx;
+  fx.addLine(4);
+  fx.aodv(0).sendData(3, 512, 0, 0);
+  fx.run(Time::seconds(2));
+  EXPECT_EQ(fx.metrics().dataDelivered, 1u);
+  const auto* r = fx.aodv(0).route(3);
+  ASSERT_NE(r, nullptr);
+  EXPECT_TRUE(r->valid);
+  EXPECT_EQ(r->nextHop, 1u);
+  EXPECT_EQ(r->hopCount, 3u);
+}
+
+TEST(AodvTest, ReversePathBuiltDuringDiscovery) {
+  AodvFixture fx;
+  fx.addLine(4);
+  fx.aodv(0).sendData(3, 512, 0, 0);
+  fx.run(Time::seconds(2));
+  // Every node on the path knows the way back to the originator.
+  const auto* back = fx.aodv(3).route(0);
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ(back->nextHop, 2u);
+  const auto* mid = fx.aodv(2).route(0);
+  ASSERT_NE(mid, nullptr);
+  EXPECT_EQ(mid->nextHop, 1u);
+}
+
+TEST(AodvTest, IntermediateNodeAnswersFromRouteTable) {
+  AodvFixture fx;
+  fx.addLine(4);
+  fx.addStatic({200, 200});  // node 4, neighbor of node 1 only
+  fx.aodv(0).sendData(3, 512, 0, 0);
+  fx.run(Time::seconds(2));
+  ASSERT_EQ(fx.metrics().dataDelivered, 1u);
+  const auto before = fx.metrics().cacheRepliesGenerated;
+  fx.aodv(4).sendData(3, 512, 1, 0);
+  fx.run(Time::seconds(4));
+  EXPECT_EQ(fx.metrics().dataDelivered, 2u);
+  // Node 1 had a valid fresh route and answered in the target's stead.
+  EXPECT_GT(fx.metrics().cacheRepliesGenerated, before);
+}
+
+TEST(AodvTest, IntermediateRepliesCanBeDisabled) {
+  AodvConfig cfg;
+  cfg.intermediateReplies = false;
+  AodvFixture fx(cfg);
+  fx.addLine(4);
+  fx.aodv(0).sendData(3, 512, 0, 0);
+  fx.run(Time::seconds(2));
+  fx.aodv(0).sendData(3, 512, 0, 1);
+  fx.run(Time::seconds(4));
+  EXPECT_EQ(fx.metrics().dataDelivered, 2u);
+  EXPECT_EQ(fx.metrics().cacheRepliesGenerated, 0u);
+}
+
+TEST(AodvTest, LinkBreakInvalidatesAndRecovers) {
+  AodvFixture fx;
+  fx.addStatic({0, 0});
+  fx.addStatic({200, 0});
+  fx.addTeleport({400, 0}, {5000, 5000}, Time::seconds(5));
+  fx.addStatic({600, 0});
+  fx.addStatic({400, 150});  // detour via node 4
+  fx.aodv(0).sendData(3, 512, 0, 0);
+  fx.run(Time::seconds(2));
+  ASSERT_EQ(fx.metrics().dataDelivered, 1u);
+
+  fx.network->scheduler().scheduleAt(Time::seconds(6), [&] {
+    fx.aodv(0).sendData(3, 512, 0, 1);
+  });
+  // Check before the 10 s active-route lifetime can expire the new route.
+  fx.run(Time::seconds(9));
+  EXPECT_EQ(fx.metrics().dataDelivered, 2u);
+  const auto* r = fx.aodv(0).route(3);
+  ASSERT_NE(r, nullptr);
+  EXPECT_TRUE(r->valid);
+}
+
+TEST(AodvTest, RouteErrorPropagatesToPrecursors) {
+  AodvFixture fx;
+  fx.addStatic({0, 0});
+  fx.addStatic({200, 0});
+  fx.addTeleport({400, 0}, {5000, 5000}, Time::seconds(5));
+  fx.addStatic({600, 0});
+  fx.aodv(0).sendData(3, 512, 0, 0);
+  fx.run(Time::seconds(2));
+  ASSERT_TRUE(fx.aodv(0).route(3)->valid);
+
+  // Steady traffic so node 1 detects the break while holding node 0 as a
+  // precursor; the RERR must invalidate node 0's route too.
+  fx.network->scheduler().scheduleAt(Time::seconds(6), [&] {
+    fx.aodv(0).sendData(3, 512, 0, 1);
+  });
+  fx.run(Time::seconds(10));
+  const auto* r = fx.aodv(0).route(3);
+  ASSERT_NE(r, nullptr);
+  EXPECT_FALSE(r->valid);
+  EXPECT_GE(fx.metrics().rerrTx, 1u);
+}
+
+TEST(AodvTest, UnusedRoutesExpire) {
+  AodvConfig cfg;
+  cfg.activeRouteTimeout = Time::seconds(3);
+  AodvFixture fx(cfg);
+  fx.addLine(3);
+  fx.aodv(0).sendData(2, 512, 0, 0);
+  fx.run(Time::seconds(2));
+  ASSERT_TRUE(fx.aodv(0).route(2)->valid);
+  fx.run(Time::seconds(8));  // idle past the lifetime
+  EXPECT_FALSE(fx.aodv(0).route(2)->valid);
+}
+
+TEST(AodvTest, OngoingTrafficKeepsRouteAlive) {
+  AodvConfig cfg;
+  cfg.activeRouteTimeout = Time::seconds(3);
+  AodvFixture fx(cfg);
+  fx.addLine(3);
+  for (int i = 0; i < 10; ++i) {
+    fx.network->scheduler().scheduleAt(Time::seconds(i) + Time::millis(7),
+                                       [&fx, i] {
+                                         fx.aodv(0).sendData(
+                                             2, 512, 0,
+                                             static_cast<std::uint64_t>(i));
+                                       });
+  }
+  fx.run(Time::seconds(10) + Time::millis(500));
+  EXPECT_EQ(fx.metrics().dataDelivered, 10u);
+  EXPECT_TRUE(fx.aodv(0).route(2)->valid);
+}
+
+TEST(AodvTest, PacketsBufferDuringDiscovery) {
+  AodvFixture fx;
+  fx.addLine(4);
+  for (int i = 0; i < 5; ++i) fx.aodv(0).sendData(3, 512, 0, i);
+  fx.run(Time::seconds(3));
+  EXPECT_EQ(fx.metrics().dataOriginated, 5u);
+  EXPECT_EQ(fx.metrics().dataDelivered, 5u);
+}
+
+TEST(AodvTest, UnreachableDestinationDropsAfterTimeout) {
+  AodvFixture fx;
+  fx.addStatic({0, 0});
+  fx.addStatic({5000, 0});
+  fx.aodv(0).sendData(1, 512, 0, 0);
+  fx.run(Time::seconds(40));
+  EXPECT_EQ(fx.metrics().dataDelivered, 0u);
+  EXPECT_EQ(fx.metrics().dropSendBufferTimeout, 1u);
+  EXPECT_GE(fx.metrics().floodRequestsSent, 2u);  // retried with backoff
+}
+
+TEST(AodvTest, MobileScenarioDeliversTraffic) {
+  scenario::ScenarioConfig cfg;
+  cfg.numNodes = 20;
+  cfg.field = {800.0, 400.0};
+  cfg.numFlows = 5;
+  cfg.packetsPerSecond = 2.0;
+  cfg.duration = Time::seconds(60);
+  cfg.pause = Time::zero();
+  cfg.mobilitySeed = 3;
+  cfg.protocol = net::Protocol::kAodv;
+  const auto r = scenario::runScenario(cfg);
+  EXPECT_GT(r.metrics.packetDeliveryFraction(), 0.7);
+}
+
+TEST(AodvTest, DeterministicAcrossRuns) {
+  scenario::ScenarioConfig cfg;
+  cfg.numNodes = 15;
+  cfg.field = {700.0, 350.0};
+  cfg.numFlows = 4;
+  cfg.duration = Time::seconds(30);
+  cfg.protocol = net::Protocol::kAodv;
+  const auto a = scenario::runScenario(cfg);
+  const auto b = scenario::runScenario(cfg);
+  EXPECT_EQ(a.metrics.dataDelivered, b.metrics.dataDelivered);
+  EXPECT_EQ(a.eventsExecuted, b.eventsExecuted);
+}
+
+}  // namespace
+}  // namespace manet::aodv

@@ -1,0 +1,80 @@
+#include "src/core/adaptive_timeout.h"
+
+#include <gtest/gtest.h>
+
+namespace manet::core {
+namespace {
+
+using sim::Time;
+
+TEST(AdaptiveTimeoutTest, BeforeAnyBreakGrowsWithTime) {
+  AdaptiveTimeout at(2.0, Time::seconds(1));
+  // No breaks seen: T = time since start (last break defaults to t=0),
+  // i.e. effectively no expiry while the network looks stable.
+  EXPECT_EQ(at.timeout(Time::seconds(100)), Time::seconds(100));
+}
+
+TEST(AdaptiveTimeoutTest, MinimumClampApplies) {
+  AdaptiveTimeout at(2.0, Time::seconds(1));
+  at.onRouteBreak(Time::seconds(10), Time::millis(10100));  // 0.1 s lifetime
+  // alpha * avg = 0.2 s, since-break = 0: clamped to 1 s.
+  EXPECT_EQ(at.timeout(Time::millis(10100)), Time::seconds(1));
+}
+
+TEST(AdaptiveTimeoutTest, AverageLifetimeDrivesTimeout) {
+  AdaptiveTimeout at(2.0, Time::seconds(1));
+  // Two breaks with lifetimes 4 s and 8 s -> avg 6 s -> T = 12 s.
+  at.onRouteBreak(Time::seconds(0), Time::seconds(4));
+  at.onRouteBreak(Time::seconds(2), Time::seconds(10));
+  EXPECT_DOUBLE_EQ(at.avgRouteLifetimeSec(), 6.0);
+  EXPECT_EQ(at.timeout(Time::seconds(10)), Time::seconds(12));
+  EXPECT_EQ(at.sampleCount(), 2u);
+}
+
+TEST(AdaptiveTimeoutTest, QuietPeriodRaisesTimeout) {
+  AdaptiveTimeout at(2.0, Time::seconds(1));
+  at.onRouteBreak(Time::seconds(0), Time::seconds(2));  // avg 2 -> alpha*avg=4
+  // 30 s after the last break, the since-break term dominates: routes are
+  // clearly stable, so don't expire them based on the old burst.
+  EXPECT_EQ(at.timeout(Time::seconds(32)), Time::seconds(30));
+}
+
+TEST(AdaptiveTimeoutTest, BurstyBreaksShrinkTimeoutAgain) {
+  AdaptiveTimeout at(2.0, Time::seconds(1));
+  at.onRouteBreak(Time::seconds(0), Time::seconds(2));
+  EXPECT_EQ(at.timeout(Time::seconds(32)), Time::seconds(30));
+  at.onRouteBreak(Time::seconds(30), Time::seconds(33));  // lifetime 3 s
+  // avg = 2.5 -> T = 5 s; since-break = 0.
+  EXPECT_EQ(at.timeout(Time::seconds(33)), Time::seconds(5));
+}
+
+TEST(AdaptiveTimeoutTest, LinkBreakWithoutLifetimeOnlyResetsClock) {
+  AdaptiveTimeout at(2.0, Time::seconds(1));
+  at.onLinkBreak(Time::seconds(50));
+  EXPECT_EQ(at.sampleCount(), 0u);
+  EXPECT_EQ(at.timeout(Time::seconds(51)), Time::seconds(1));  // clamped
+  EXPECT_EQ(at.timeout(Time::seconds(70)), Time::seconds(20));
+}
+
+TEST(AdaptiveTimeoutTest, NegativeLifetimeClampedToZero) {
+  AdaptiveTimeout at(2.0, Time::seconds(1));
+  at.onRouteBreak(Time::seconds(10), Time::seconds(5));  // clock skew guard
+  EXPECT_DOUBLE_EQ(at.avgRouteLifetimeSec(), 0.0);
+}
+
+// Parameterized: alpha scales the lifetime term linearly.
+class AdaptiveAlphaTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(AdaptiveAlphaTest, AlphaScalesLifetimeTerm) {
+  const double alpha = GetParam();
+  AdaptiveTimeout at(alpha, Time::millis(1));
+  at.onRouteBreak(Time::seconds(0), Time::seconds(10));  // avg lifetime 10 s
+  const Time t = at.timeout(Time::seconds(10));
+  EXPECT_EQ(t, Time::fromSeconds(alpha * 10.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, AdaptiveAlphaTest,
+                         ::testing::Values(1.0, 1.5, 2.0, 4.0));
+
+}  // namespace
+}  // namespace manet::core

@@ -1,0 +1,160 @@
+// Route discovery: request flooding, replies (from target and caches),
+// non-propagating requests, send buffering.
+#include <gtest/gtest.h>
+
+#include "src/core/dsr_agent.h"
+#include "tests/testing/dsr_fixture.h"
+
+namespace manet::core {
+namespace {
+
+using manet::testing::DsrFixture;
+using net::NodeId;
+using sim::Time;
+
+TEST(DsrDiscoveryTest, MultiHopDiscoveryAndDelivery) {
+  DsrFixture fx;
+  fx.addLine(4);
+  fx.dsr(0).sendData(3, 512, 0, 0);
+  fx.run(Time::seconds(2));
+  EXPECT_EQ(fx.metrics().dataOriginated, 1u);
+  EXPECT_EQ(fx.metrics().dataDelivered, 1u);
+  // Source learned the full 4-hop route.
+  auto r = fx.dsr(0).routeCache().findRoute(3);
+  ASSERT_TRUE(r);
+  EXPECT_EQ(*r, (std::vector<NodeId>{0, 1, 2, 3}));
+}
+
+TEST(DsrDiscoveryTest, SingleHopUsesNonPropagatingRequestOnly) {
+  DsrFixture fx;
+  fx.addLine(2);
+  fx.dsr(0).sendData(1, 512, 0, 0);
+  fx.run(Time::seconds(2));
+  EXPECT_EQ(fx.metrics().dataDelivered, 1u);
+  EXPECT_EQ(fx.metrics().nonPropRequestsSent, 1u);
+  EXPECT_EQ(fx.metrics().floodRequestsSent, 0u);
+}
+
+TEST(DsrDiscoveryTest, MultiHopNeedsFloodAfterNonPropFails) {
+  DsrFixture fx;
+  fx.addLine(4);
+  fx.dsr(0).sendData(3, 512, 0, 0);
+  fx.run(Time::seconds(2));
+  EXPECT_EQ(fx.metrics().nonPropRequestsSent, 1u);
+  EXPECT_GE(fx.metrics().floodRequestsSent, 1u);
+  EXPECT_EQ(fx.metrics().dataDelivered, 1u);
+}
+
+TEST(DsrDiscoveryTest, DeliveryDelayIncludesDiscoveryLatency) {
+  DsrFixture fx;
+  fx.addLine(4);
+  fx.dsr(0).sendData(3, 512, 0, 0);
+  fx.run(Time::seconds(2));
+  ASSERT_EQ(fx.metrics().dataDelivered, 1u);
+  // Must include the 30 ms non-propagating timeout plus flood round trip.
+  EXPECT_GT(fx.metrics().avgDelaySec(), 0.030);
+  EXPECT_LT(fx.metrics().avgDelaySec(), 1.0);
+}
+
+TEST(DsrDiscoveryTest, IntermediateNodesLearnRoutesFromForwarding) {
+  DsrFixture fx;
+  fx.addLine(4);
+  fx.dsr(0).sendData(3, 512, 0, 0);
+  fx.run(Time::seconds(2));
+  // Node 1 forwarded the data packet and the request/reply cycle: it must
+  // know routes toward both endpoints.
+  EXPECT_TRUE(fx.dsr(1).routeCache().findRoute(3));
+  EXPECT_TRUE(fx.dsr(1).routeCache().findRoute(0));
+  // The destination learned the reverse route.
+  EXPECT_TRUE(fx.dsr(3).routeCache().findRoute(0));
+}
+
+TEST(DsrDiscoveryTest, CachedReplyQuenchesSecondDiscovery) {
+  // Disable promiscuous listening so node 4 cannot simply snoop the route
+  // off the air — it must ask, and node 1's cache must answer.
+  DsrConfig cfg;
+  cfg.promiscuousListening = false;
+  DsrFixture fx(cfg);
+  fx.addLine(4);
+  // Node 4 hangs off node 1 only.
+  fx.addStatic({200, 200});
+  fx.dsr(0).sendData(3, 512, 0, 0);
+  fx.run(Time::seconds(2));
+  const auto floodsBefore = fx.metrics().floodRequestsSent;
+
+  // Node 4 asks for node 3; node 1 has a cached route and must reply
+  // without the flood reaching node 3's neighborhood.
+  fx.dsr(4).sendData(3, 512, 1, 0);
+  fx.run(Time::seconds(4));
+  EXPECT_EQ(fx.metrics().dataDelivered, 2u);
+  EXPECT_GE(fx.metrics().cacheRepliesGenerated, 1u);
+  // Node 1 replied to the 1-hop request, so no (or at most the already
+  // counted) network-wide floods were needed.
+  EXPECT_EQ(fx.metrics().floodRequestsSent, floodsBefore);
+}
+
+TEST(DsrDiscoveryTest, TargetRepliesToMultiplePathsInDiamond) {
+  DsrFixture fx;
+  // Diamond: 0 -> {1, 2} -> 3.
+  fx.addStatic({0, 0});      // 0
+  fx.addStatic({200, 100});  // 1
+  fx.addStatic({200, -100}); // 2
+  fx.addStatic({400, 0});    // 3
+  fx.dsr(0).sendData(3, 512, 0, 0);
+  fx.run(Time::seconds(3));
+  EXPECT_EQ(fx.metrics().dataDelivered, 1u);
+  // The target replies to every request copy, so the source should have
+  // cached at least one route and received one or more replies.
+  EXPECT_GE(fx.metrics().repliesReceived, 1u);
+  EXPECT_GE(fx.metrics().targetRepliesGenerated, 1u);
+  EXPECT_TRUE(fx.dsr(0).routeCache().findRoute(3));
+}
+
+TEST(DsrDiscoveryTest, PacketsBufferWhileDiscovering) {
+  DsrFixture fx;
+  fx.addLine(4);
+  for (int i = 0; i < 5; ++i) fx.dsr(0).sendData(3, 512, 0, i);
+  fx.run(Time::seconds(3));
+  // All five buffered packets flow once the route arrives.
+  EXPECT_EQ(fx.metrics().dataOriginated, 5u);
+  EXPECT_EQ(fx.metrics().dataDelivered, 5u);
+}
+
+TEST(DsrDiscoveryTest, UnreachableDestinationDropsAfterBufferTimeout) {
+  DsrFixture fx;
+  fx.addStatic({0, 0});
+  fx.addStatic({1000, 0});  // far out of range
+  fx.dsr(0).sendData(1, 512, 0, 0);
+  fx.run(Time::seconds(40));
+  EXPECT_EQ(fx.metrics().dataDelivered, 0u);
+  EXPECT_EQ(fx.metrics().dropSendBufferTimeout, 1u);
+  // Discovery retried with backoff but never succeeded.
+  EXPECT_GE(fx.metrics().floodRequestsSent, 2u);
+}
+
+TEST(DsrDiscoveryTest, SecondSendUsesCachedRouteWithoutNewDiscovery) {
+  DsrFixture fx;
+  fx.addLine(4);
+  fx.dsr(0).sendData(3, 512, 0, 0);
+  fx.run(Time::seconds(2));
+  const auto discoveries = fx.metrics().routeDiscoveriesStarted;
+  const auto hitsBefore = fx.metrics().cacheHits;
+  fx.dsr(0).sendData(3, 512, 0, 1);
+  fx.run(Time::seconds(4));
+  EXPECT_EQ(fx.metrics().dataDelivered, 2u);
+  EXPECT_EQ(fx.metrics().routeDiscoveriesStarted, discoveries);
+  EXPECT_GT(fx.metrics().cacheHits, hitsBefore);
+}
+
+TEST(DsrDiscoveryTest, ReplyQualityMeasuredByOracle) {
+  DsrFixture fx;
+  fx.addLine(3);
+  fx.dsr(0).sendData(2, 512, 0, 0);
+  fx.run(Time::seconds(2));
+  // Static topology: every reply is good.
+  EXPECT_GE(fx.metrics().repliesReceived, 1u);
+  EXPECT_EQ(fx.metrics().repliesReceived, fx.metrics().goodRepliesReceived);
+}
+
+}  // namespace
+}  // namespace manet::core

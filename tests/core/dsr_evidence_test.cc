@@ -1,0 +1,84 @@
+// Negative-cache evidence rules: quarantines lift on positive evidence
+// (hearing the neighbor) and on authoritative target replies — false link
+// breaks caused by congestion must not starve good routes for a full Nt.
+#include <gtest/gtest.h>
+
+#include "src/core/dsr_agent.h"
+#include "tests/testing/dsr_fixture.h"
+
+namespace manet::core {
+namespace {
+
+using manet::testing::DsrFixture;
+using net::LinkId;
+using net::NodeId;
+using sim::Time;
+
+TEST(NegCacheEvidenceTest, HearingNeighborLiftsQuarantine) {
+  DsrConfig cfg = makeVariantConfig(Variant::kNegCache);
+  DsrFixture fx(cfg);
+  fx.addLine(3);
+  // Pretend node 0 observed a (false) break of 0->1.
+  fx.dsr(0).negativeCache().insert(LinkId{0, 1},
+                                   fx.network->scheduler().now());
+  ASSERT_TRUE(fx.dsr(0).negativeCache().contains(
+      LinkId{0, 1}, fx.network->scheduler().now()));
+  // Node 1 transmits something node 0 hears (any traffic 1 -> 2 works:
+  // node 0 overhears the RTS/DATA).
+  fx.dsr(1).sendData(2, 128, 0, 0);
+  fx.run(Time::seconds(2));
+  EXPECT_FALSE(fx.dsr(0).negativeCache().contains(
+      LinkId{0, 1}, fx.network->scheduler().now()));
+}
+
+TEST(NegCacheEvidenceTest, QuarantinePersistsWithoutEvidence) {
+  DsrConfig cfg = makeVariantConfig(Variant::kNegCache);
+  DsrFixture fx(cfg);
+  fx.addLine(3);
+  fx.dsr(0).negativeCache().insert(LinkId{1, 2},
+                                   fx.network->scheduler().now());
+  // Nothing transmits: entry survives until Nt.
+  fx.run(Time::seconds(5));
+  EXPECT_TRUE(fx.dsr(0).negativeCache().contains(
+      LinkId{1, 2}, fx.network->scheduler().now()));
+  fx.run(Time::seconds(11));
+  EXPECT_FALSE(fx.dsr(0).negativeCache().contains(
+      LinkId{1, 2}, fx.network->scheduler().now()));
+}
+
+TEST(NegCacheEvidenceTest, TargetReplyOverridesRemoteQuarantine) {
+  // Node 0 has quarantined a remote link 1->2 (e.g. from a route error
+  // about a congestion-induced false break). A fresh discovery whose reply
+  // comes from the *target* proves the path works: the quarantine lifts
+  // and traffic flows.
+  DsrConfig cfg = makeVariantConfig(Variant::kNegCache);
+  cfg.replyFromCache = false;  // force target replies
+  DsrFixture fx(cfg);
+  fx.addLine(3);
+  fx.dsr(0).negativeCache().insert(LinkId{1, 2},
+                                   fx.network->scheduler().now());
+  fx.dsr(0).sendData(2, 512, 0, 0);
+  fx.run(Time::seconds(3));
+  EXPECT_EQ(fx.metrics().dataDelivered, 1u);
+  EXPECT_FALSE(fx.dsr(0).negativeCache().contains(
+      LinkId{1, 2}, fx.network->scheduler().now()));
+}
+
+TEST(FakeBreakMetricTest, OracleSeparatesRealFromFakeBreaks) {
+  // Real break: node 1 teleports away; node 0's transmission fails while
+  // the link is genuinely gone -> counted as a real break, not fake.
+  DsrFixture fx;
+  fx.addStatic({0, 0});
+  fx.addTeleport({200, 0}, {5000, 5000}, Time::seconds(5));
+  fx.dsr(0).sendData(1, 512, 0, 0);
+  fx.run(Time::seconds(2));
+  fx.network->scheduler().scheduleAt(Time::seconds(6), [&] {
+    fx.dsr(0).sendData(1, 512, 0, 1);
+  });
+  fx.run(Time::seconds(9));
+  EXPECT_GE(fx.metrics().linkBreaksDetected, 1u);
+  EXPECT_EQ(fx.metrics().fakeLinkBreaks, 0u);
+}
+
+}  // namespace
+}  // namespace manet::core

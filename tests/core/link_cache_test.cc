@@ -1,0 +1,153 @@
+#include "src/core/link_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/route_cache.h"
+#include "src/sim/rng.h"
+
+namespace manet::core {
+namespace {
+
+using net::LinkId;
+using net::NodeId;
+using sim::Time;
+
+TEST(LinkCacheTest, InsertAndFindShortestPath) {
+  LinkCache c(0, 64);
+  c.insert(std::vector<NodeId>{0, 1, 2, 9}, Time::zero());
+  c.insert(std::vector<NodeId>{0, 5, 9}, Time::zero());
+  auto r = c.findRoute(9);
+  ASSERT_TRUE(r);
+  EXPECT_EQ(*r, (std::vector<NodeId>{0, 5, 9}));
+}
+
+TEST(LinkCacheTest, ComposesLinksFromDifferentRoutes) {
+  // The defining property of a link cache: links learned separately join
+  // into routes never seen as one path.
+  LinkCache c(0, 64);
+  c.insert(std::vector<NodeId>{0, 1, 2}, Time::zero());
+  c.insert(std::vector<NodeId>{0, 1, 3, 7}, Time::zero());
+  // Link 2->7 arrives via a route through 1: graph now has 0-1-2 and 2->7?
+  // No: teach 2->7 through a longer path starting at 0.
+  c.insert(std::vector<NodeId>{0, 4, 2, 7, 8}, Time::zero());
+  // Composed route 0-1-2 + 2-7 + 7-8 should be findable; BFS returns some
+  // shortest composition.
+  auto r = c.findRoute(8);
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->front(), 0u);
+  EXPECT_EQ(r->back(), 8u);
+  // Shortest composition is 4 links (e.g. 0-1-3-7-8 or 0-4-2-7-8): the
+  // cache mixed links from all three learned routes.
+  EXPECT_EQ(r->size(), 5u);
+}
+
+TEST(LinkCacheTest, RejectsBadInserts) {
+  LinkCache c(0, 64);
+  EXPECT_FALSE(c.insert(std::vector<NodeId>{0}, Time::zero()));
+  EXPECT_FALSE(c.insert(std::vector<NodeId>{1, 2}, Time::zero()));
+  EXPECT_FALSE(c.insert(std::vector<NodeId>{0, 1, 0}, Time::zero()));
+  EXPECT_EQ(c.size(), 0u);
+}
+
+TEST(LinkCacheTest, RemoveLinkBreaksPathsThroughIt) {
+  LinkCache c(0, 64);
+  c.insert(std::vector<NodeId>{0, 1, 2, 3}, Time::seconds(4));
+  const auto affected = c.removeLink(LinkId{1, 2}, Time::seconds(9));
+  ASSERT_EQ(affected.size(), 1u);
+  EXPECT_EQ(affected[0], Time::seconds(4));
+  EXPECT_FALSE(c.findRoute(2));
+  EXPECT_FALSE(c.findRoute(3));
+  EXPECT_TRUE(c.findRoute(1));
+}
+
+TEST(LinkCacheTest, RemoveUnknownLinkIsNoop) {
+  LinkCache c(0, 64);
+  c.insert(std::vector<NodeId>{0, 1, 2}, Time::zero());
+  EXPECT_TRUE(c.removeLink(LinkId{5, 6}, Time::zero()).empty());
+  EXPECT_TRUE(c.findRoute(2));
+}
+
+TEST(LinkCacheTest, FilterRoutesAroundRejectedLink) {
+  LinkCache c(0, 64);
+  c.insert(std::vector<NodeId>{0, 1, 9}, Time::zero());
+  c.insert(std::vector<NodeId>{0, 2, 3, 9}, Time::zero());
+  auto r = c.findRoute(9, [](LinkId l) { return !(l == LinkId{1, 9}); });
+  ASSERT_TRUE(r);
+  EXPECT_EQ(*r, (std::vector<NodeId>{0, 2, 3, 9}));
+}
+
+TEST(LinkCacheTest, ExpiryDropsUnusedLinks) {
+  LinkCache c(0, 64);
+  c.insert(std::vector<NodeId>{0, 1, 2, 3}, Time::seconds(0));
+  c.markLinksUsed(std::vector<NodeId>{0, 1}, Time::seconds(20));
+  EXPECT_EQ(c.expireUnusedSince(Time::seconds(10)), 2u);
+  EXPECT_TRUE(c.findRoute(1));
+  EXPECT_FALSE(c.findRoute(3));
+}
+
+TEST(LinkCacheTest, CapacityEvictsOldestLink) {
+  LinkCache c(0, 2);
+  c.insert(std::vector<NodeId>{0, 1}, Time::seconds(1));
+  c.insert(std::vector<NodeId>{0, 2}, Time::seconds(2));
+  c.insert(std::vector<NodeId>{0, 3}, Time::seconds(3));
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_FALSE(c.containsLink(LinkId{0, 1}));
+  EXPECT_TRUE(c.containsLink(LinkId{0, 3}));
+}
+
+TEST(LinkCacheTest, ClearEmptiesGraph) {
+  LinkCache c(0, 64);
+  c.insert(std::vector<NodeId>{0, 1, 2}, Time::zero());
+  c.clear();
+  EXPECT_EQ(c.size(), 0u);
+  EXPECT_FALSE(c.findRoute(2));
+}
+
+TEST(LinkCacheTest, NoRouteToSelf) {
+  LinkCache c(0, 64);
+  c.insert(std::vector<NodeId>{0, 1}, Time::zero());
+  EXPECT_FALSE(c.findRoute(0));
+}
+
+// Property: for identical insert sequences, any route the path cache can
+// produce, the link cache can match or beat in hop count (it subsumes the
+// path cache's information), and both return loop-free routes anchored
+// correctly.
+class CacheEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CacheEquivalenceTest, LinkCacheSubsumesPathCache) {
+  sim::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  RouteCache path(0, 1024);
+  LinkCache link(0, 4096);
+  for (int step = 0; step < 300; ++step) {
+    const auto now = Time::millis(step);
+    std::vector<NodeId> p{0};
+    const int len = static_cast<int>(rng.uniformInt(1, 6));
+    for (int i = 0; i < len; ++i) {
+      const auto next = static_cast<NodeId>(rng.uniformInt(1, 15));
+      if (std::find(p.begin(), p.end(), next) != p.end()) break;
+      p.push_back(next);
+    }
+    if (p.size() >= 2) {
+      path.insert(p, now);
+      link.insert(p, now);
+    }
+    const auto dest = static_cast<NodeId>(rng.uniformInt(1, 15));
+    const auto viaPath = path.findRoute(dest);
+    const auto viaLink = link.findRoute(dest);
+    if (viaPath) {
+      ASSERT_TRUE(viaLink) << "link cache lost a route the path cache kept";
+      ASSERT_LE(viaLink->size(), viaPath->size());
+    }
+    if (viaLink) {
+      ASSERT_EQ(viaLink->front(), 0u);
+      ASSERT_EQ(viaLink->back(), dest);
+      ASSERT_FALSE(net::routeHasDuplicates(*viaLink));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CacheEquivalenceTest, ::testing::Range(1, 7));
+
+}  // namespace
+}  // namespace manet::core

@@ -1,0 +1,81 @@
+#include "src/core/negative_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace manet::core {
+namespace {
+
+using net::LinkId;
+using sim::Time;
+
+TEST(NegativeCacheTest, InsertAndContains) {
+  NegativeCache nc(8, Time::seconds(10));
+  nc.insert(LinkId{1, 2}, Time::zero());
+  EXPECT_TRUE(nc.contains(LinkId{1, 2}, Time::seconds(5)));
+  EXPECT_FALSE(nc.contains(LinkId{2, 1}, Time::seconds(5)));  // directional
+  EXPECT_FALSE(nc.contains(LinkId{3, 4}, Time::seconds(5)));
+}
+
+TEST(NegativeCacheTest, EntriesExpireAfterTtl) {
+  NegativeCache nc(8, Time::seconds(10));
+  nc.insert(LinkId{1, 2}, Time::zero());
+  EXPECT_TRUE(nc.contains(LinkId{1, 2}, Time::millis(9999)));
+  EXPECT_FALSE(nc.contains(LinkId{1, 2}, Time::seconds(10)));
+  EXPECT_FALSE(nc.contains(LinkId{1, 2}, Time::seconds(100)));
+}
+
+TEST(NegativeCacheTest, ReinsertRefreshesExpiry) {
+  NegativeCache nc(8, Time::seconds(10));
+  nc.insert(LinkId{1, 2}, Time::zero());
+  nc.insert(LinkId{1, 2}, Time::seconds(8));
+  EXPECT_TRUE(nc.contains(LinkId{1, 2}, Time::seconds(15)));
+  EXPECT_EQ(nc.size(Time::seconds(15)), 1u);
+  // Refreshed expiry is 8 + 10 = 18 s; at exactly 18 s it is gone.
+  EXPECT_FALSE(nc.contains(LinkId{1, 2}, Time::seconds(18)));
+}
+
+TEST(NegativeCacheTest, FifoReplacementAtCapacity) {
+  NegativeCache nc(3, Time::seconds(100));
+  nc.insert(LinkId{0, 1}, Time::zero());
+  nc.insert(LinkId{0, 2}, Time::zero());
+  nc.insert(LinkId{0, 3}, Time::zero());
+  nc.insert(LinkId{0, 4}, Time::zero());  // evicts {0,1}
+  EXPECT_FALSE(nc.contains(LinkId{0, 1}, Time::seconds(1)));
+  EXPECT_TRUE(nc.contains(LinkId{0, 2}, Time::seconds(1)));
+  EXPECT_TRUE(nc.contains(LinkId{0, 4}, Time::seconds(1)));
+  EXPECT_EQ(nc.size(Time::seconds(1)), 3u);
+}
+
+TEST(NegativeCacheTest, RefreshMovesToBackOfFifo) {
+  NegativeCache nc(3, Time::seconds(100));
+  nc.insert(LinkId{0, 1}, Time::zero());
+  nc.insert(LinkId{0, 2}, Time::zero());
+  nc.insert(LinkId{0, 3}, Time::zero());
+  nc.insert(LinkId{0, 1}, Time::seconds(1));  // refresh: now newest
+  nc.insert(LinkId{0, 4}, Time::seconds(2));  // evicts {0,2}, not {0,1}
+  EXPECT_TRUE(nc.contains(LinkId{0, 1}, Time::seconds(3)));
+  EXPECT_FALSE(nc.contains(LinkId{0, 2}, Time::seconds(3)));
+}
+
+TEST(NegativeCacheTest, SizeSweepsExpiredEntries) {
+  NegativeCache nc(8, Time::seconds(10));
+  nc.insert(LinkId{0, 1}, Time::zero());
+  nc.insert(LinkId{0, 2}, Time::seconds(5));
+  EXPECT_EQ(nc.size(Time::seconds(12)), 1u);  // {0,1} expired
+  EXPECT_EQ(nc.size(Time::seconds(20)), 0u);
+}
+
+TEST(NegativeCacheTest, ExpiredEntryFreesCapacity) {
+  NegativeCache nc(2, Time::seconds(10));
+  nc.insert(LinkId{0, 1}, Time::zero());
+  nc.insert(LinkId{0, 2}, Time::zero());
+  // Both expired by t=20; inserting two fresh links must not evict them
+  // prematurely via FIFO confusion.
+  nc.insert(LinkId{0, 3}, Time::seconds(20));
+  nc.insert(LinkId{0, 4}, Time::seconds(20));
+  EXPECT_TRUE(nc.contains(LinkId{0, 3}, Time::seconds(21)));
+  EXPECT_TRUE(nc.contains(LinkId{0, 4}, Time::seconds(21)));
+}
+
+}  // namespace
+}  // namespace manet::core

@@ -1,0 +1,54 @@
+// findRoute with a link filter: alternate cached paths must serve a
+// destination when the shortest path crosses a rejected link (negative
+// cache mutual exclusion without losing route diversity).
+#include <gtest/gtest.h>
+
+#include "src/core/route_cache.h"
+
+namespace manet::core {
+namespace {
+
+using net::LinkId;
+using net::NodeId;
+using sim::Time;
+
+TEST(RouteCacheFilterTest, FilterSkipsToAlternatePath) {
+  RouteCache c(0, 16);
+  c.insert(std::vector<NodeId>{0, 1, 9}, Time::zero());     // short, bad link
+  c.insert(std::vector<NodeId>{0, 2, 3, 9}, Time::zero());  // longer, clean
+  auto reject19 = [](LinkId l) { return !(l == LinkId{1, 9}); };
+  auto r = c.findRoute(9, reject19);
+  ASSERT_TRUE(r);
+  EXPECT_EQ(*r, (std::vector<NodeId>{0, 2, 3, 9}));
+}
+
+TEST(RouteCacheFilterTest, NoFilterPrefersShortest) {
+  RouteCache c(0, 16);
+  c.insert(std::vector<NodeId>{0, 1, 9}, Time::zero());
+  c.insert(std::vector<NodeId>{0, 2, 3, 9}, Time::zero());
+  auto r = c.findRoute(9);
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->size(), 3u);
+}
+
+TEST(RouteCacheFilterTest, AllPathsRejectedReturnsNothing) {
+  RouteCache c(0, 16);
+  c.insert(std::vector<NodeId>{0, 1, 9}, Time::zero());
+  c.insert(std::vector<NodeId>{0, 2, 9}, Time::zero());
+  auto rejectInto9 = [](LinkId l) { return l.to != 9; };
+  EXPECT_FALSE(c.findRoute(9, rejectInto9));
+}
+
+TEST(RouteCacheFilterTest, FilterAppliesOnlyToUsedPrefix) {
+  // The rejected link lies beyond the destination in the stored path; the
+  // prefix route to the destination is unaffected.
+  RouteCache c(0, 16);
+  c.insert(std::vector<NodeId>{0, 1, 2, 3}, Time::zero());
+  auto reject23 = [](LinkId l) { return !(l == LinkId{2, 3}); };
+  auto r = c.findRoute(2, reject23);
+  ASSERT_TRUE(r);
+  EXPECT_EQ(*r, (std::vector<NodeId>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace manet::core

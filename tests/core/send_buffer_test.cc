@@ -1,0 +1,80 @@
+#include "src/core/send_buffer.h"
+
+#include <gtest/gtest.h>
+
+namespace manet::core {
+namespace {
+
+using sim::Time;
+
+net::PacketPtr mkPkt() { return net::Packet::make(); }
+
+TEST(SendBufferTest, PushAndTake) {
+  SendBuffer b(4, Time::seconds(30));
+  b.push(mkPkt(), 7, Time::zero());
+  b.push(mkPkt(), 8, Time::zero());
+  b.push(mkPkt(), 7, Time::zero());
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_TRUE(b.hasPacketsFor(7));
+  auto got = b.takeForDest(7);
+  EXPECT_EQ(got.size(), 2u);
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_FALSE(b.hasPacketsFor(7));
+  EXPECT_TRUE(b.hasPacketsFor(8));
+}
+
+TEST(SendBufferTest, OverflowEvictsOldest) {
+  SendBuffer b(2, Time::seconds(30));
+  auto p1 = mkPkt();
+  b.push(p1, 1, Time::zero());
+  b.push(mkPkt(), 2, Time::zero());
+  const auto evicted = b.push(mkPkt(), 3, Time::zero());
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0].packet->uid, p1->uid);
+  EXPECT_EQ(b.size(), 2u);
+}
+
+TEST(SendBufferTest, ExpireDropsOnlyOldEntries) {
+  SendBuffer b(8, Time::seconds(30));
+  b.push(mkPkt(), 1, Time::seconds(0));
+  b.push(mkPkt(), 2, Time::seconds(20));
+  auto dropped = b.expire(Time::seconds(31));
+  ASSERT_EQ(dropped.size(), 1u);
+  EXPECT_EQ(dropped[0].dest, 1u);
+  EXPECT_EQ(b.size(), 1u);
+  // Exactly 30 s of waiting is allowed; strictly more is not.
+  EXPECT_EQ(b.expire(Time::seconds(50)).size(), 0u);
+  EXPECT_EQ(b.expire(Time::millis(50001)).size(), 1u);
+}
+
+TEST(SendBufferTest, DestinationsAreDistinct) {
+  SendBuffer b(8, Time::seconds(30));
+  b.push(mkPkt(), 5, Time::zero());
+  b.push(mkPkt(), 5, Time::zero());
+  b.push(mkPkt(), 6, Time::zero());
+  const auto d = b.destinations();
+  EXPECT_EQ(d.size(), 2u);
+}
+
+TEST(SendBufferTest, TakePreservesFifoOrder) {
+  SendBuffer b(8, Time::seconds(30));
+  auto p1 = mkPkt();
+  auto p2 = mkPkt();
+  b.push(p1, 5, Time::zero());
+  b.push(p2, 5, Time::seconds(1));
+  auto got = b.takeForDest(5);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].packet->uid, p1->uid);
+  EXPECT_EQ(got[1].packet->uid, p2->uid);
+}
+
+TEST(SendBufferTest, EmptyBufferBehaves) {
+  SendBuffer b(8, Time::seconds(30));
+  EXPECT_EQ(b.takeForDest(1).size(), 0u);
+  EXPECT_EQ(b.expire(Time::seconds(100)).size(), 0u);
+  EXPECT_TRUE(b.destinations().empty());
+  EXPECT_FALSE(b.hasPacketsFor(1));
+}
+
+}  // namespace
+}  // namespace manet::core

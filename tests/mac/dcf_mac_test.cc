@@ -1,0 +1,223 @@
+#include "src/mac/dcf_mac.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/mobility/mobility_model.h"
+#include "src/phy/channel.h"
+#include "src/phy/radio.h"
+#include "src/sim/rng.h"
+#include "src/sim/scheduler.h"
+
+namespace manet::mac {
+namespace {
+
+using mobility::StaticMobility;
+using sim::Rng;
+using sim::Scheduler;
+using sim::Time;
+
+net::PacketPtr makeDataPacket(net::NodeId src, net::NodeId dst,
+                              std::uint32_t bytes = 512) {
+  auto p = net::Packet::make();
+  p->kind = net::PacketKind::kData;
+  p->src = src;
+  p->dst = dst;
+  p->payloadBytes = bytes;
+  return p;
+}
+
+struct MacNode {
+  std::unique_ptr<StaticMobility> mob;
+  std::unique_ptr<phy::Radio> radio;
+  std::unique_ptr<DcfMac> mac;
+  std::vector<net::PacketPtr> received;
+  std::vector<net::NodeId> failedNextHops;
+  std::vector<net::NodeId> okNextHops;
+  int tapped = 0;
+};
+
+struct Fixture {
+  Scheduler sched;
+  phy::PhyConfig phyCfg;
+  phy::Channel channel{sched, phyCfg};
+  MacConfig macCfg;
+  metrics::Metrics metrics;
+  std::vector<std::unique_ptr<MacNode>> nodes;
+
+  MacNode& addNode(net::NodeId id, Vec2 pos) {
+    auto n = std::make_unique<MacNode>();
+    n->mob = std::make_unique<StaticMobility>(pos);
+    n->radio = std::make_unique<phy::Radio>(id, *n->mob, channel, sched);
+    n->mac = std::make_unique<DcfMac>(id, *n->radio, sched, Rng(id + 17),
+                                      macCfg, &metrics);
+    MacNode* raw = n.get();
+    n->mac->setHandlers(DcfMac::Handlers{
+        .receive = [raw](net::PacketPtr p,
+                         net::NodeId) { raw->received.push_back(p); },
+        .promiscuousTap = [raw](const Frame&) { ++raw->tapped; },
+        .sendFailed =
+            [raw](net::PacketPtr, net::NodeId nh) {
+              raw->failedNextHops.push_back(nh);
+            },
+        .sendOk =
+            [raw](net::PacketPtr, net::NodeId nh) {
+              raw->okNextHops.push_back(nh);
+            },
+    });
+    nodes.push_back(std::move(n));
+    return *nodes.back();
+  }
+};
+
+TEST(DcfMacTest, UnicastDeliversWithRtsCtsAck) {
+  Fixture fx;
+  MacNode& a = fx.addNode(0, {0, 0});
+  MacNode& b = fx.addNode(1, {100, 0});
+  a.mac->send(makeDataPacket(0, 1), 1);
+  fx.sched.runUntil(Time::seconds(1));
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(a.okNextHops, std::vector<net::NodeId>{1});
+  EXPECT_TRUE(a.failedNextHops.empty());
+  // Full DCF exchange happened exactly once.
+  EXPECT_EQ(fx.metrics.rtsTx, 1u);
+  EXPECT_EQ(fx.metrics.ctsTx, 1u);
+  EXPECT_EQ(fx.metrics.ackTx, 1u);
+  EXPECT_EQ(fx.metrics.dataFrameTx, 1u);
+}
+
+TEST(DcfMacTest, BroadcastReachesAllNeighborsWithoutControlFrames) {
+  Fixture fx;
+  MacNode& a = fx.addNode(0, {0, 0});
+  MacNode& b = fx.addNode(1, {100, 0});
+  MacNode& c = fx.addNode(2, {0, 100});
+  MacNode& far = fx.addNode(3, {1000, 1000});
+  a.mac->send(makeDataPacket(0, net::kBroadcast), net::kBroadcast);
+  fx.sched.runUntil(Time::seconds(1));
+  EXPECT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(c.received.size(), 1u);
+  EXPECT_EQ(far.received.size(), 0u);
+  EXPECT_EQ(fx.metrics.rtsTx, 0u);
+  EXPECT_EQ(fx.metrics.ackTx, 0u);
+}
+
+TEST(DcfMacTest, FailedLinkReportsAfterRetryLimit) {
+  Fixture fx;
+  MacNode& a = fx.addNode(0, {0, 0});
+  // Node 1 does not exist: RTS will never be answered.
+  a.mac->send(makeDataPacket(0, 1), 1);
+  fx.sched.runUntil(Time::seconds(5));
+  ASSERT_EQ(a.failedNextHops.size(), 1u);
+  EXPECT_EQ(a.failedNextHops[0], 1u);
+  // Retried RTS up to the short retry limit.
+  EXPECT_EQ(fx.metrics.rtsTx,
+            static_cast<std::uint64_t>(fx.macCfg.shortRetryLimit));
+}
+
+TEST(DcfMacTest, QueueOverflowDropsAndCounts) {
+  Fixture fx;
+  MacNode& a = fx.addNode(0, {0, 0});
+  fx.addNode(1, {100, 0});
+  for (std::size_t i = 0; i < fx.macCfg.queueCapacity + 10; ++i) {
+    a.mac->send(makeDataPacket(0, 1), 1);
+  }
+  EXPECT_EQ(fx.metrics.dropIfqFull, 10u);
+  EXPECT_EQ(a.mac->queueLength(), fx.macCfg.queueCapacity);
+}
+
+TEST(DcfMacTest, QueueDrainsInOrder) {
+  Fixture fx;
+  MacNode& a = fx.addNode(0, {0, 0});
+  MacNode& b = fx.addNode(1, {100, 0});
+  for (int i = 0; i < 5; ++i) {
+    auto p = makeDataPacket(0, 1);
+    p = [&] {
+      auto q = net::clone(*p);
+      q->seqInFlow = static_cast<std::uint64_t>(i);
+      return q;
+    }();
+    a.mac->send(p, 1);
+  }
+  fx.sched.runUntil(Time::seconds(2));
+  ASSERT_EQ(b.received.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(b.received[static_cast<size_t>(i)]->seqInFlow,
+              static_cast<std::uint64_t>(i));
+  }
+}
+
+TEST(DcfMacTest, PriorityPacketsJumpAheadOfData) {
+  Fixture fx;
+  MacNode& a = fx.addNode(0, {0, 0});
+  MacNode& b = fx.addNode(1, {100, 0});
+  for (int i = 0; i < 3; ++i) a.mac->send(makeDataPacket(0, 1), 1);
+  auto ctrl = net::Packet::make();
+  ctrl->kind = net::PacketKind::kRouteReply;
+  a.mac->send(ctrl, 1, /*priority=*/true);
+  fx.sched.runUntil(Time::seconds(2));
+  ASSERT_EQ(b.received.size(), 4u);
+  // The control packet was queued last but must arrive before the 2nd and
+  // 3rd data packets (the head may already be in flight).
+  std::size_t ctrlPos = 99;
+  for (std::size_t i = 0; i < b.received.size(); ++i) {
+    if (b.received[i]->kind == net::PacketKind::kRouteReply) ctrlPos = i;
+  }
+  EXPECT_LE(ctrlPos, 1u);
+}
+
+TEST(DcfMacTest, PurgeNextHopRemovesOnlyMatching) {
+  Fixture fx;
+  MacNode& a = fx.addNode(0, {0, 0});
+  fx.addNode(1, {100, 0});
+  fx.addNode(2, {0, 100});
+  for (int i = 0; i < 3; ++i) a.mac->send(makeDataPacket(0, 1), 1);
+  for (int i = 0; i < 2; ++i) a.mac->send(makeDataPacket(0, 2), 2);
+  const auto removed = a.mac->purgeNextHop(2);
+  EXPECT_EQ(removed.size(), 2u);
+  for (const auto& qp : removed) EXPECT_EQ(qp.nextHop, 2u);
+  EXPECT_EQ(a.mac->queueLength(), 3u);
+}
+
+TEST(DcfMacTest, ContendingSendersBothDeliverEventually) {
+  Fixture fx;
+  MacNode& a = fx.addNode(0, {0, 0});
+  MacNode& b = fx.addNode(1, {100, 0});
+  MacNode& c = fx.addNode(2, {50, 50});
+  for (int i = 0; i < 10; ++i) {
+    a.mac->send(makeDataPacket(0, 2), 2);
+    b.mac->send(makeDataPacket(1, 2), 2);
+  }
+  fx.sched.runUntil(Time::seconds(10));
+  EXPECT_EQ(c.received.size(), 20u);
+}
+
+TEST(DcfMacTest, OverheardUnicastReachesPromiscuousTap) {
+  Fixture fx;
+  MacNode& a = fx.addNode(0, {0, 0});
+  fx.addNode(1, {100, 0});
+  MacNode& snooper = fx.addNode(2, {0, 100});
+  a.mac->send(makeDataPacket(0, 1), 1);
+  fx.sched.runUntil(Time::seconds(1));
+  EXPECT_GE(snooper.tapped, 1);
+  EXPECT_TRUE(snooper.received.empty());
+}
+
+TEST(DcfMacTest, HiddenTerminalsResolvedByRtsCtsEventually) {
+  Fixture fx;
+  // a and c cannot hear each other; both send to b in the middle.
+  MacNode& a = fx.addNode(0, {0, 0});
+  MacNode& b = fx.addNode(1, {240, 0});
+  MacNode& c = fx.addNode(2, {480, 0});
+  for (int i = 0; i < 5; ++i) {
+    a.mac->send(makeDataPacket(0, 1), 1);
+    c.mac->send(makeDataPacket(2, 1), 1);
+  }
+  fx.sched.runUntil(Time::seconds(20));
+  // RTS/CTS plus retries should get most (if not all) packets through.
+  EXPECT_GE(b.received.size(), 8u);
+}
+
+}  // namespace
+}  // namespace manet::mac

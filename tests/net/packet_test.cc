@@ -1,0 +1,92 @@
+#include "src/net/packet.h"
+
+#include <gtest/gtest.h>
+
+namespace manet::net {
+namespace {
+
+TEST(PacketTest, MakeAssignsUniqueUids) {
+  auto a = Packet::make();
+  auto b = Packet::make();
+  EXPECT_NE(a->uid, b->uid);
+}
+
+TEST(PacketTest, ClonePreservesUidAndContent) {
+  auto p = Packet::make();
+  p->kind = PacketKind::kData;
+  p->src = 3;
+  p->dst = 9;
+  p->payloadBytes = 512;
+  p->route = SourceRoute{{3, 5, 9}, 1};
+  auto c = clone(*p);
+  EXPECT_EQ(c->uid, p->uid);
+  EXPECT_EQ(c->route->hops, p->route->hops);
+  EXPECT_EQ(c->route->cursor, p->route->cursor);
+  // Clones are independent.
+  ++c->route->cursor;
+  EXPECT_NE(c->route->cursor, p->route->cursor);
+}
+
+TEST(PacketTest, SourceRouteAccessors) {
+  SourceRoute r{{10, 11, 12, 13}, 0};
+  EXPECT_EQ(r.source(), 10u);
+  EXPECT_EQ(r.destination(), 13u);
+  EXPECT_EQ(r.nextHop(), 11u);
+  EXPECT_FALSE(r.atDestination());
+  r.cursor = 3;
+  EXPECT_TRUE(r.atDestination());
+}
+
+TEST(PacketTest, WireBytesChargesHeaders) {
+  auto p = Packet::make();
+  p->payloadBytes = 512;
+  const auto bare = p->wireBytes();
+  EXPECT_EQ(bare, 512u + 4u);
+
+  p->route = SourceRoute{{1, 2, 3, 4}, 0};
+  EXPECT_EQ(p->wireBytes(), bare + 4 + 4 * 4);  // 4 B/hop + fixed part
+}
+
+TEST(PacketTest, WireBytesRouteRequestGrowsWithPath) {
+  auto p = Packet::make();
+  p->kind = PacketKind::kRouteRequest;
+  p->rreq = RouteRequestHdr{.origin = 1, .target = 9, .id = 1, .ttl = 64,
+                            .path = {1}, .piggybackedError = std::nullopt};
+  const auto small = p->wireBytes();
+  p->rreq->path = {1, 2, 3, 4, 5};
+  EXPECT_EQ(p->wireBytes(), small + 4 * 4);
+  p->rreq->piggybackedError = LinkId{2, 3};
+  EXPECT_EQ(p->wireBytes(), small + 4 * 4 + 12);
+}
+
+TEST(PacketTest, RouteContainsLinkIsDirectional) {
+  const std::vector<NodeId> hops{1, 2, 3, 4};
+  EXPECT_TRUE(routeContainsLink(hops, LinkId{2, 3}));
+  EXPECT_FALSE(routeContainsLink(hops, LinkId{3, 2}));
+  EXPECT_FALSE(routeContainsLink(hops, LinkId{1, 3}));  // not adjacent
+  EXPECT_FALSE(routeContainsLink(hops, LinkId{4, 1}));
+}
+
+TEST(PacketTest, RouteHasDuplicates) {
+  EXPECT_FALSE(routeHasDuplicates(std::vector<NodeId>{1, 2, 3}));
+  EXPECT_TRUE(routeHasDuplicates(std::vector<NodeId>{1, 2, 1}));
+  EXPECT_TRUE(routeHasDuplicates(std::vector<NodeId>{1, 2, 2, 3}));
+  EXPECT_FALSE(routeHasDuplicates(std::vector<NodeId>{}));
+}
+
+TEST(PacketTest, LinkIdOrderingAndEquality) {
+  EXPECT_EQ((LinkId{1, 2}), (LinkId{1, 2}));
+  EXPECT_NE((LinkId{1, 2}), (LinkId{2, 1}));
+  LinkIdHash h;
+  EXPECT_NE(h(LinkId{1, 2}), h(LinkId{2, 1}));
+}
+
+TEST(PacketTest, KindNames) {
+  EXPECT_STREQ(toString(PacketKind::kData), "DATA");
+  EXPECT_STREQ(toString(PacketKind::kRouteRequest), "RREQ");
+  EXPECT_STREQ(toString(PacketKind::kRouteReply), "RREP");
+  EXPECT_STREQ(toString(PacketKind::kRouteError), "RERR");
+}
+
+}  // namespace
+}  // namespace manet::net

@@ -1,0 +1,47 @@
+#include "src/scenario/table.h"
+
+#include <gtest/gtest.h>
+
+namespace manet::scenario {
+namespace {
+
+TEST(TableTest, AlignedColumns) {
+  Table t({"name", "value"});
+  t.addRow({"a", "1"});
+  t.addRow({"longer", "23"});
+  const std::string s = t.str();
+  // Header and two rows plus a separator.
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+  // Column 2 starts at the same offset in every line (cells padded to the
+  // widest column-1 entry, "longer").
+  const auto headerLineStart = s.find("name");
+  const auto valueCol = s.find("value") - headerLineStart;
+  const auto row1Start = s.find("a ");
+  ASSERT_NE(row1Start, std::string::npos);
+  EXPECT_EQ(s.substr(row1Start + valueCol, 1), "1");
+}
+
+TEST(TableTest, CsvOutput) {
+  Table t({"a", "b"});
+  t.addRow({"1", "2"});
+  t.addRow({"3", "4"});
+  EXPECT_EQ(t.csv(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(TableTest, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+  EXPECT_EQ(Table::num(0.5, 3), "0.500");
+}
+
+TEST(TableTest, ShortRowsPadSafely) {
+  Table t({"a", "b", "c"});
+  t.addRow({"only-one"});
+  const std::string s = t.str();  // must not crash or misalign
+  EXPECT_NE(s.find("only-one"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace manet::scenario

@@ -1,0 +1,88 @@
+#include "src/sim/rng.h"
+
+#include <gtest/gtest.h>
+
+namespace manet::sim {
+namespace {
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.uniform(), b.uniform());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, StreamsAreIndependentOfParentState) {
+  Rng parent(7);
+  Rng s1 = parent.stream("mobility");
+  (void)parent.uniform();  // consuming the parent must not affect children
+  Rng s2 = parent.stream("mobility");
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(s1.uniform(), s2.uniform());
+}
+
+TEST(RngTest, NamedStreamsDiffer) {
+  Rng parent(7);
+  Rng a = parent.stream("a");
+  Rng b = parent.stream("b");
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, SaltedStreamsDiffer) {
+  Rng parent(7);
+  Rng a = parent.stream("node", 1);
+  Rng b = parent.stream("node", 2);
+  EXPECT_NE(a.uniform(), b.uniform());
+}
+
+TEST(RngTest, UniformRangeRespected) {
+  Rng r(99);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform(5.0, 10.0);
+    EXPECT_GE(v, 5.0);
+    EXPECT_LT(v, 10.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng r(99);
+  bool sawLo = false, sawHi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.uniformInt(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    sawLo |= v == 0;
+    sawHi |= v == 3;
+  }
+  EXPECT_TRUE(sawLo);
+  EXPECT_TRUE(sawHi);
+}
+
+TEST(RngTest, ExponentialMeanApproximatelyCorrect) {
+  Rng r(4);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(2.0);
+  EXPECT_NEAR(sum / n, 2.0, 0.1);
+}
+
+TEST(RngTest, BernoulliProbability) {
+  Rng r(5);
+  int heads = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) heads += r.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(heads) / n, 0.3, 0.02);
+}
+
+}  // namespace
+}  // namespace manet::sim

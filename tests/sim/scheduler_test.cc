@@ -1,0 +1,109 @@
+#include "src/sim/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+namespace manet::sim {
+namespace {
+
+TEST(SchedulerTest, RunsEventsInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.scheduleAt(Time::seconds(3), [&] { order.push_back(3); });
+  s.scheduleAt(Time::seconds(1), [&] { order.push_back(1); });
+  s.scheduleAt(Time::seconds(2), [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SchedulerTest, TiesRunFifo) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.scheduleAt(Time::seconds(5), [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(SchedulerTest, NowAdvancesWithEvents) {
+  Scheduler s;
+  Time seen;
+  s.scheduleAt(Time::millis(250), [&] { seen = s.now(); });
+  s.run();
+  EXPECT_EQ(seen, Time::millis(250));
+}
+
+TEST(SchedulerTest, RunUntilStopsAtBoundaryInclusive) {
+  Scheduler s;
+  int ran = 0;
+  s.scheduleAt(Time::seconds(1), [&] { ++ran; });
+  s.scheduleAt(Time::seconds(2), [&] { ++ran; });
+  s.scheduleAt(Time::seconds(3), [&] { ++ran; });
+  s.runUntil(Time::seconds(2));
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(s.now(), Time::seconds(2));
+  s.runUntil(Time::seconds(5));
+  EXPECT_EQ(ran, 3);
+}
+
+TEST(SchedulerTest, CancelPreventsExecution) {
+  Scheduler s;
+  bool ran = false;
+  EventId id = s.scheduleAt(Time::seconds(1), [&] { ran = true; });
+  s.cancel(id);
+  s.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SchedulerTest, CancelInvalidIdIsSafe) {
+  Scheduler s;
+  s.cancel(kInvalidEvent);
+  s.cancel(99999);
+  s.run();
+}
+
+TEST(SchedulerTest, EventsCanScheduleEvents) {
+  Scheduler s;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) s.scheduleAfter(Time::seconds(1), chain);
+  };
+  s.scheduleAfter(Time::seconds(1), chain);
+  s.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(s.now(), Time::seconds(5));
+}
+
+TEST(SchedulerTest, EventsCanCancelLaterEvents) {
+  Scheduler s;
+  bool ran = false;
+  EventId victim = s.scheduleAt(Time::seconds(2), [&] { ran = true; });
+  s.scheduleAt(Time::seconds(1), [&] { s.cancel(victim); });
+  s.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SchedulerTest, ExecutedCountCountsOnlyRunEvents) {
+  Scheduler s;
+  s.scheduleAt(Time::seconds(1), [] {});
+  EventId id = s.scheduleAt(Time::seconds(2), [] {});
+  s.cancel(id);
+  s.run();
+  EXPECT_EQ(s.executedCount(), 1u);
+}
+
+TEST(SchedulerTest, ScheduleAfterUsesCurrentTime) {
+  Scheduler s;
+  Time when;
+  s.scheduleAt(Time::seconds(10), [&] {
+    s.scheduleAfter(Time::seconds(5), [&] { when = s.now(); });
+  });
+  s.run();
+  EXPECT_EQ(when, Time::seconds(15));
+}
+
+}  // namespace
+}  // namespace manet::sim

@@ -1,0 +1,52 @@
+#include "src/sim/time.h"
+
+#include <gtest/gtest.h>
+
+namespace manet::sim {
+namespace {
+
+TEST(TimeTest, FactoriesAgree) {
+  EXPECT_EQ(Time::seconds(1), Time::millis(1000));
+  EXPECT_EQ(Time::millis(1), Time::micros(1000));
+  EXPECT_EQ(Time::micros(1), Time::nanos(1000));
+  EXPECT_EQ(Time::fromSeconds(2.5), Time::millis(2500));
+}
+
+TEST(TimeTest, DefaultIsZero) {
+  Time t;
+  EXPECT_EQ(t, Time::zero());
+  EXPECT_EQ(t.ns(), 0);
+}
+
+TEST(TimeTest, Arithmetic) {
+  const Time a = Time::seconds(3);
+  const Time b = Time::millis(500);
+  EXPECT_EQ((a + b).toSeconds(), 3.5);
+  EXPECT_EQ((a - b).toSeconds(), 2.5);
+  Time c = a;
+  c += b;
+  EXPECT_EQ(c, Time::millis(3500));
+  c -= a;
+  EXPECT_EQ(c, b);
+}
+
+TEST(TimeTest, ScalarScale) {
+  EXPECT_EQ(Time::seconds(4) * 0.5, Time::seconds(2));
+  EXPECT_EQ(Time::seconds(1) * 2.0, Time::seconds(2));
+  EXPECT_EQ(Time::zero() * 100.0, Time::zero());
+}
+
+TEST(TimeTest, Ordering) {
+  EXPECT_LT(Time::millis(999), Time::seconds(1));
+  EXPECT_GT(Time::seconds(1), Time::micros(999999));
+  EXPECT_LE(Time::seconds(1), Time::millis(1000));
+  EXPECT_LT(Time::seconds(100000), Time::max());
+}
+
+TEST(TimeTest, ToSecondsRoundTrip) {
+  const Time t = Time::nanos(1234567891);
+  EXPECT_NEAR(t.toSeconds(), 1.234567891, 1e-12);
+}
+
+}  // namespace
+}  // namespace manet::sim

@@ -1,0 +1,61 @@
+#include "src/traffic/cbr.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/dsr_fixture.h"
+
+namespace manet::traffic {
+namespace {
+
+using manet::testing::DsrFixture;
+using sim::Time;
+
+TEST(CbrTest, SendsAtConfiguredRate) {
+  DsrFixture fx;
+  fx.addLine(2);
+  CbrSource::Params p;
+  p.dst = 1;
+  p.packetsPerSecond = 4.0;
+  p.start = Time::seconds(1);
+  p.stop = Time::seconds(11);
+  CbrSource src(fx.dsr(0), fx.network->scheduler(), p);
+  fx.run(Time::seconds(20));
+  // Ticks at 1.0, 1.25, ..., 11.0 -> 41 packets.
+  EXPECT_EQ(src.packetsSent(), 41u);
+  EXPECT_EQ(fx.metrics().dataOriginated, 41u);
+  EXPECT_EQ(fx.metrics().dataDelivered, 41u);
+}
+
+TEST(CbrTest, StopsAtStopTime) {
+  DsrFixture fx;
+  fx.addLine(2);
+  CbrSource::Params p;
+  p.dst = 1;
+  p.packetsPerSecond = 2.0;
+  p.start = Time::zero() + Time::millis(1);
+  p.stop = Time::seconds(5);
+  CbrSource src(fx.dsr(0), fx.network->scheduler(), p);
+  fx.run(Time::seconds(30));
+  const auto sentByStop = src.packetsSent();
+  EXPECT_LE(sentByStop, 11u);
+  EXPECT_GE(sentByStop, 10u);
+}
+
+TEST(CbrTest, PayloadAndFlowIdPropagate) {
+  DsrFixture fx;
+  fx.addLine(2);
+  CbrSource::Params p;
+  p.dst = 1;
+  p.packetsPerSecond = 1.0;
+  p.payloadBytes = 256;
+  p.start = Time::millis(1);
+  p.stop = Time::seconds(3);
+  p.flowId = 9;
+  CbrSource src(fx.dsr(0), fx.network->scheduler(), p);
+  fx.run(Time::seconds(5));
+  EXPECT_EQ(fx.metrics().bytesDelivered,
+            fx.metrics().dataDelivered * 256u);
+}
+
+}  // namespace
+}  // namespace manet::traffic

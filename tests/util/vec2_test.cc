@@ -1,0 +1,32 @@
+#include "src/util/vec2.h"
+
+#include <gtest/gtest.h>
+
+namespace manet {
+namespace {
+
+TEST(Vec2Test, Arithmetic) {
+  const Vec2 a{1, 2}, b{3, 4};
+  EXPECT_EQ(a + b, (Vec2{4, 6}));
+  EXPECT_EQ(b - a, (Vec2{2, 2}));
+  EXPECT_EQ(a * 2.0, (Vec2{2, 4}));
+}
+
+TEST(Vec2Test, Norm) {
+  EXPECT_DOUBLE_EQ((Vec2{3, 4}).norm(), 5.0);
+  EXPECT_DOUBLE_EQ((Vec2{0, 0}).norm(), 0.0);
+}
+
+TEST(Vec2Test, Distance) {
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {0, 250}), 250.0);
+  EXPECT_DOUBLE_EQ(distance({1, 1}, {4, 5}), 5.0);
+  EXPECT_DOUBLE_EQ(distance({7, -2}, {7, -2}), 0.0);
+}
+
+TEST(Vec2Test, DistanceSymmetric) {
+  const Vec2 a{12.5, -3.1}, b{-8.0, 44.0};
+  EXPECT_DOUBLE_EQ(distance(a, b), distance(b, a));
+}
+
+}  // namespace
+}  // namespace manet
