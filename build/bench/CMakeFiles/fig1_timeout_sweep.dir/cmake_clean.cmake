@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_timeout_sweep.dir/fig1_timeout_sweep.cc.o"
+  "CMakeFiles/fig1_timeout_sweep.dir/fig1_timeout_sweep.cc.o.d"
+  "fig1_timeout_sweep"
+  "fig1_timeout_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_timeout_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_mobility_sweep.dir/fig2_mobility_sweep.cc.o"
+  "CMakeFiles/fig2_mobility_sweep.dir/fig2_mobility_sweep.cc.o.d"
+  "fig2_mobility_sweep"
+  "fig2_mobility_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_mobility_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

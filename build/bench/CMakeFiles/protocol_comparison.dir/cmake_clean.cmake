@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_comparison.dir/protocol_comparison.cc.o"
+  "CMakeFiles/protocol_comparison.dir/protocol_comparison.cc.o.d"
+  "protocol_comparison"
+  "protocol_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_cache_metrics.dir/table3_cache_metrics.cc.o"
+  "CMakeFiles/table3_cache_metrics.dir/table3_cache_metrics.cc.o.d"
+  "table3_cache_metrics"
+  "table3_cache_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_cache_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_extension.dir/tcp_extension.cc.o"
+  "CMakeFiles/tcp_extension.dir/tcp_extension.cc.o.d"
+  "tcp_extension"
+  "tcp_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

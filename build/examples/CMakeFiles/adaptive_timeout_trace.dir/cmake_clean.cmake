@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_timeout_trace.dir/adaptive_timeout_trace.cpp.o"
+  "CMakeFiles/adaptive_timeout_trace.dir/adaptive_timeout_trace.cpp.o.d"
+  "adaptive_timeout_trace"
+  "adaptive_timeout_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_timeout_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_strategy_comparison.dir/cache_strategy_comparison.cpp.o"
+  "CMakeFiles/cache_strategy_comparison.dir/cache_strategy_comparison.cpp.o.d"
+  "cache_strategy_comparison"
+  "cache_strategy_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_strategy_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

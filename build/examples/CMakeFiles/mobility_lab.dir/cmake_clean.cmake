@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobility_lab.dir/mobility_lab.cpp.o"
+  "CMakeFiles/mobility_lab.dir/mobility_lab.cpp.o.d"
+  "mobility_lab"
+  "mobility_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobility_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

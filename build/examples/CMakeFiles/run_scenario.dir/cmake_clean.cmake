@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_scenario.dir/run_scenario.cpp.o"
+  "CMakeFiles/run_scenario.dir/run_scenario.cpp.o.d"
+  "run_scenario"
+  "run_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_over_manet.dir/tcp_over_manet.cpp.o"
+  "CMakeFiles/tcp_over_manet.dir/tcp_over_manet.cpp.o.d"
+  "tcp_over_manet"
+  "tcp_over_manet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_over_manet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aodv/aodv_agent.cc" "src/CMakeFiles/manet.dir/aodv/aodv_agent.cc.o" "gcc" "src/CMakeFiles/manet.dir/aodv/aodv_agent.cc.o.d"
+  "/root/repo/src/core/adaptive_timeout.cc" "src/CMakeFiles/manet.dir/core/adaptive_timeout.cc.o" "gcc" "src/CMakeFiles/manet.dir/core/adaptive_timeout.cc.o.d"
+  "/root/repo/src/core/dsr_agent.cc" "src/CMakeFiles/manet.dir/core/dsr_agent.cc.o" "gcc" "src/CMakeFiles/manet.dir/core/dsr_agent.cc.o.d"
+  "/root/repo/src/core/dsr_config.cc" "src/CMakeFiles/manet.dir/core/dsr_config.cc.o" "gcc" "src/CMakeFiles/manet.dir/core/dsr_config.cc.o.d"
+  "/root/repo/src/core/link_cache.cc" "src/CMakeFiles/manet.dir/core/link_cache.cc.o" "gcc" "src/CMakeFiles/manet.dir/core/link_cache.cc.o.d"
+  "/root/repo/src/core/negative_cache.cc" "src/CMakeFiles/manet.dir/core/negative_cache.cc.o" "gcc" "src/CMakeFiles/manet.dir/core/negative_cache.cc.o.d"
+  "/root/repo/src/core/route_cache.cc" "src/CMakeFiles/manet.dir/core/route_cache.cc.o" "gcc" "src/CMakeFiles/manet.dir/core/route_cache.cc.o.d"
+  "/root/repo/src/core/send_buffer.cc" "src/CMakeFiles/manet.dir/core/send_buffer.cc.o" "gcc" "src/CMakeFiles/manet.dir/core/send_buffer.cc.o.d"
+  "/root/repo/src/mac/dcf_mac.cc" "src/CMakeFiles/manet.dir/mac/dcf_mac.cc.o" "gcc" "src/CMakeFiles/manet.dir/mac/dcf_mac.cc.o.d"
+  "/root/repo/src/mac/frame.cc" "src/CMakeFiles/manet.dir/mac/frame.cc.o" "gcc" "src/CMakeFiles/manet.dir/mac/frame.cc.o.d"
+  "/root/repo/src/metrics/metrics.cc" "src/CMakeFiles/manet.dir/metrics/metrics.cc.o" "gcc" "src/CMakeFiles/manet.dir/metrics/metrics.cc.o.d"
+  "/root/repo/src/metrics/oracle.cc" "src/CMakeFiles/manet.dir/metrics/oracle.cc.o" "gcc" "src/CMakeFiles/manet.dir/metrics/oracle.cc.o.d"
+  "/root/repo/src/mobility/waypoint.cc" "src/CMakeFiles/manet.dir/mobility/waypoint.cc.o" "gcc" "src/CMakeFiles/manet.dir/mobility/waypoint.cc.o.d"
+  "/root/repo/src/net/network.cc" "src/CMakeFiles/manet.dir/net/network.cc.o" "gcc" "src/CMakeFiles/manet.dir/net/network.cc.o.d"
+  "/root/repo/src/net/node.cc" "src/CMakeFiles/manet.dir/net/node.cc.o" "gcc" "src/CMakeFiles/manet.dir/net/node.cc.o.d"
+  "/root/repo/src/net/packet.cc" "src/CMakeFiles/manet.dir/net/packet.cc.o" "gcc" "src/CMakeFiles/manet.dir/net/packet.cc.o.d"
+  "/root/repo/src/phy/channel.cc" "src/CMakeFiles/manet.dir/phy/channel.cc.o" "gcc" "src/CMakeFiles/manet.dir/phy/channel.cc.o.d"
+  "/root/repo/src/phy/radio.cc" "src/CMakeFiles/manet.dir/phy/radio.cc.o" "gcc" "src/CMakeFiles/manet.dir/phy/radio.cc.o.d"
+  "/root/repo/src/scenario/experiment.cc" "src/CMakeFiles/manet.dir/scenario/experiment.cc.o" "gcc" "src/CMakeFiles/manet.dir/scenario/experiment.cc.o.d"
+  "/root/repo/src/scenario/scenario.cc" "src/CMakeFiles/manet.dir/scenario/scenario.cc.o" "gcc" "src/CMakeFiles/manet.dir/scenario/scenario.cc.o.d"
+  "/root/repo/src/scenario/table.cc" "src/CMakeFiles/manet.dir/scenario/table.cc.o" "gcc" "src/CMakeFiles/manet.dir/scenario/table.cc.o.d"
+  "/root/repo/src/sim/rng.cc" "src/CMakeFiles/manet.dir/sim/rng.cc.o" "gcc" "src/CMakeFiles/manet.dir/sim/rng.cc.o.d"
+  "/root/repo/src/sim/scheduler.cc" "src/CMakeFiles/manet.dir/sim/scheduler.cc.o" "gcc" "src/CMakeFiles/manet.dir/sim/scheduler.cc.o.d"
+  "/root/repo/src/traffic/cbr.cc" "src/CMakeFiles/manet.dir/traffic/cbr.cc.o" "gcc" "src/CMakeFiles/manet.dir/traffic/cbr.cc.o.d"
+  "/root/repo/src/transport/reliable.cc" "src/CMakeFiles/manet.dir/transport/reliable.cc.o" "gcc" "src/CMakeFiles/manet.dir/transport/reliable.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/manet.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/manet.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/stats.cc" "src/CMakeFiles/manet.dir/util/stats.cc.o" "gcc" "src/CMakeFiles/manet.dir/util/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

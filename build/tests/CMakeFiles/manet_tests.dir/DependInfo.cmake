@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/aodv/aodv_test.cc" "tests/CMakeFiles/manet_tests.dir/aodv/aodv_test.cc.o" "gcc" "tests/CMakeFiles/manet_tests.dir/aodv/aodv_test.cc.o.d"
+  "/root/repo/tests/core/adaptive_timeout_test.cc" "tests/CMakeFiles/manet_tests.dir/core/adaptive_timeout_test.cc.o" "gcc" "tests/CMakeFiles/manet_tests.dir/core/adaptive_timeout_test.cc.o.d"
+  "/root/repo/tests/core/dsr_discovery_test.cc" "tests/CMakeFiles/manet_tests.dir/core/dsr_discovery_test.cc.o" "gcc" "tests/CMakeFiles/manet_tests.dir/core/dsr_discovery_test.cc.o.d"
+  "/root/repo/tests/core/dsr_evidence_test.cc" "tests/CMakeFiles/manet_tests.dir/core/dsr_evidence_test.cc.o" "gcc" "tests/CMakeFiles/manet_tests.dir/core/dsr_evidence_test.cc.o.d"
+  "/root/repo/tests/core/dsr_freshness_test.cc" "tests/CMakeFiles/manet_tests.dir/core/dsr_freshness_test.cc.o" "gcc" "tests/CMakeFiles/manet_tests.dir/core/dsr_freshness_test.cc.o.d"
+  "/root/repo/tests/core/dsr_maintenance_test.cc" "tests/CMakeFiles/manet_tests.dir/core/dsr_maintenance_test.cc.o" "gcc" "tests/CMakeFiles/manet_tests.dir/core/dsr_maintenance_test.cc.o.d"
+  "/root/repo/tests/core/dsr_strategy_test.cc" "tests/CMakeFiles/manet_tests.dir/core/dsr_strategy_test.cc.o" "gcc" "tests/CMakeFiles/manet_tests.dir/core/dsr_strategy_test.cc.o.d"
+  "/root/repo/tests/core/link_cache_test.cc" "tests/CMakeFiles/manet_tests.dir/core/link_cache_test.cc.o" "gcc" "tests/CMakeFiles/manet_tests.dir/core/link_cache_test.cc.o.d"
+  "/root/repo/tests/core/negative_cache_test.cc" "tests/CMakeFiles/manet_tests.dir/core/negative_cache_test.cc.o" "gcc" "tests/CMakeFiles/manet_tests.dir/core/negative_cache_test.cc.o.d"
+  "/root/repo/tests/core/route_cache_filter_test.cc" "tests/CMakeFiles/manet_tests.dir/core/route_cache_filter_test.cc.o" "gcc" "tests/CMakeFiles/manet_tests.dir/core/route_cache_filter_test.cc.o.d"
+  "/root/repo/tests/core/route_cache_test.cc" "tests/CMakeFiles/manet_tests.dir/core/route_cache_test.cc.o" "gcc" "tests/CMakeFiles/manet_tests.dir/core/route_cache_test.cc.o.d"
+  "/root/repo/tests/core/send_buffer_test.cc" "tests/CMakeFiles/manet_tests.dir/core/send_buffer_test.cc.o" "gcc" "tests/CMakeFiles/manet_tests.dir/core/send_buffer_test.cc.o.d"
+  "/root/repo/tests/integration/determinism_test.cc" "tests/CMakeFiles/manet_tests.dir/integration/determinism_test.cc.o" "gcc" "tests/CMakeFiles/manet_tests.dir/integration/determinism_test.cc.o.d"
+  "/root/repo/tests/integration/end_to_end_test.cc" "tests/CMakeFiles/manet_tests.dir/integration/end_to_end_test.cc.o" "gcc" "tests/CMakeFiles/manet_tests.dir/integration/end_to_end_test.cc.o.d"
+  "/root/repo/tests/mac/dcf_mac_test.cc" "tests/CMakeFiles/manet_tests.dir/mac/dcf_mac_test.cc.o" "gcc" "tests/CMakeFiles/manet_tests.dir/mac/dcf_mac_test.cc.o.d"
+  "/root/repo/tests/mac/nav_test.cc" "tests/CMakeFiles/manet_tests.dir/mac/nav_test.cc.o" "gcc" "tests/CMakeFiles/manet_tests.dir/mac/nav_test.cc.o.d"
+  "/root/repo/tests/metrics/metrics_test.cc" "tests/CMakeFiles/manet_tests.dir/metrics/metrics_test.cc.o" "gcc" "tests/CMakeFiles/manet_tests.dir/metrics/metrics_test.cc.o.d"
+  "/root/repo/tests/mobility/waypoint_test.cc" "tests/CMakeFiles/manet_tests.dir/mobility/waypoint_test.cc.o" "gcc" "tests/CMakeFiles/manet_tests.dir/mobility/waypoint_test.cc.o.d"
+  "/root/repo/tests/net/packet_test.cc" "tests/CMakeFiles/manet_tests.dir/net/packet_test.cc.o" "gcc" "tests/CMakeFiles/manet_tests.dir/net/packet_test.cc.o.d"
+  "/root/repo/tests/phy/capture_test.cc" "tests/CMakeFiles/manet_tests.dir/phy/capture_test.cc.o" "gcc" "tests/CMakeFiles/manet_tests.dir/phy/capture_test.cc.o.d"
+  "/root/repo/tests/phy/channel_test.cc" "tests/CMakeFiles/manet_tests.dir/phy/channel_test.cc.o" "gcc" "tests/CMakeFiles/manet_tests.dir/phy/channel_test.cc.o.d"
+  "/root/repo/tests/scenario/experiment_test.cc" "tests/CMakeFiles/manet_tests.dir/scenario/experiment_test.cc.o" "gcc" "tests/CMakeFiles/manet_tests.dir/scenario/experiment_test.cc.o.d"
+  "/root/repo/tests/scenario/table_test.cc" "tests/CMakeFiles/manet_tests.dir/scenario/table_test.cc.o" "gcc" "tests/CMakeFiles/manet_tests.dir/scenario/table_test.cc.o.d"
+  "/root/repo/tests/sim/rng_test.cc" "tests/CMakeFiles/manet_tests.dir/sim/rng_test.cc.o" "gcc" "tests/CMakeFiles/manet_tests.dir/sim/rng_test.cc.o.d"
+  "/root/repo/tests/sim/scheduler_test.cc" "tests/CMakeFiles/manet_tests.dir/sim/scheduler_test.cc.o" "gcc" "tests/CMakeFiles/manet_tests.dir/sim/scheduler_test.cc.o.d"
+  "/root/repo/tests/sim/time_test.cc" "tests/CMakeFiles/manet_tests.dir/sim/time_test.cc.o" "gcc" "tests/CMakeFiles/manet_tests.dir/sim/time_test.cc.o.d"
+  "/root/repo/tests/traffic/cbr_test.cc" "tests/CMakeFiles/manet_tests.dir/traffic/cbr_test.cc.o" "gcc" "tests/CMakeFiles/manet_tests.dir/traffic/cbr_test.cc.o.d"
+  "/root/repo/tests/transport/reliable_test.cc" "tests/CMakeFiles/manet_tests.dir/transport/reliable_test.cc.o" "gcc" "tests/CMakeFiles/manet_tests.dir/transport/reliable_test.cc.o.d"
+  "/root/repo/tests/util/stats_test.cc" "tests/CMakeFiles/manet_tests.dir/util/stats_test.cc.o" "gcc" "tests/CMakeFiles/manet_tests.dir/util/stats_test.cc.o.d"
+  "/root/repo/tests/util/vec2_test.cc" "tests/CMakeFiles/manet_tests.dir/util/vec2_test.cc.o" "gcc" "tests/CMakeFiles/manet_tests.dir/util/vec2_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/manet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
