@@ -10,6 +10,7 @@
 //                                 as using it (the paper's wording says no,
 //                                 and that is what makes tiny timeouts
 //                                 expensive).
+#include <cctype>
 #include <cstdio>
 #include <string>
 
@@ -22,8 +23,16 @@ using scenario::Table;
 
 namespace {
 
-scenario::AggregateResult run(const scenario::ScenarioConfig& cfg, int reps) {
-  return scenario::runReplicated(cfg, reps);
+/// Runs one ablation setting; the row label doubles as the structured-export
+/// label (sanitized to stay filename-friendly under MANET_EXPORT_DIR).
+scenario::AggregateResult run(const scenario::ScenarioConfig& cfg, int reps,
+                              std::string label) {
+  for (char& c : label) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '.' && c != '-') {
+      c = '_';
+    }
+  }
+  return scenario::runReplicated(cfg, reps, {}, "ablation_" + label);
 }
 
 std::vector<std::string> row(const std::string& label,
@@ -55,7 +64,8 @@ int main() {
       cfg.dsr = core::makeVariantConfig(core::Variant::kAdaptiveExpiry);
       cfg.dsr.adaptiveAlpha = alpha;
       std::printf("  alpha=%.1f...\n", alpha);
-      t.addRow(row("alpha=" + Table::num(alpha, 1), run(cfg, reps)));
+      const std::string label = "alpha=" + Table::num(alpha, 1);
+      t.addRow(row(label, run(cfg, reps, label)));
     }
     t.print("Ablation 1 — adaptive timeout alpha", "ablation_alpha.csv");
   }
@@ -73,9 +83,9 @@ int main() {
       cfg.dsr.negCacheCapacity = k.cap;
       cfg.dsr.negCacheTtl = sim::Time::fromSeconds(k.nt);
       std::printf("  negcache cap=%zu Nt=%.0fs...\n", k.cap, k.nt);
-      t.addRow(row("cap=" + std::to_string(k.cap) +
-                       ",Nt=" + Table::num(k.nt, 0),
-                   run(cfg, reps)));
+      const std::string label =
+          "cap=" + std::to_string(k.cap) + ",Nt=" + Table::num(k.nt, 0);
+      t.addRow(row(label, run(cfg, reps, label)));
     }
     t.print("Ablation 2 — negative cache size / Nt", "ablation_negcache.csv");
   }
@@ -87,7 +97,8 @@ int main() {
       cfg.dsr = core::makeVariantConfig(core::Variant::kBase);
       cfg.dsr.routeCacheCapacity = cap;
       std::printf("  route cache capacity=%zu...\n", (size_t)cap);
-      t.addRow(row("capacity=" + std::to_string(cap), run(cfg, reps)));
+      const std::string label = "capacity=" + std::to_string(cap);
+      t.addRow(row(label, run(cfg, reps, label)));
     }
     t.print("Ablation 3 — route cache capacity (base DSR)",
             "ablation_capacity.csv");
@@ -108,9 +119,9 @@ int main() {
             s == core::CacheStructure::kLink ? 512 : 128;
         std::printf("  %s cache, %s...\n", core::toString(s),
                     core::toString(v));
-        t.addRow(row(std::string(core::toString(s)) + "+" +
-                         core::toString(v),
-                     run(cfg, reps)));
+        const std::string label =
+            std::string(core::toString(s)) + "+" + core::toString(v);
+        t.addRow(row(label, run(cfg, reps, label)));
       }
     }
     t.print("Ablation 4 — cache structure (path vs link)",
@@ -124,7 +135,8 @@ int main() {
       cfg.dsr = core::makeVariantConfig(core::Variant::kAll);
       cfg.dsr.freshnessTagging = fresh;
       std::printf("  ALL, freshness=%d...\n", fresh);
-      t.addRow(row(fresh ? "ALL + freshness tags" : "ALL", run(cfg, reps)));
+      const std::string label = fresh ? "ALL + freshness tags" : "ALL";
+      t.addRow(row(label, run(cfg, reps, label)));
     }
     t.print("Ablation 5 — route freshness tagging (future-work extension)",
             "ablation_freshness.csv");
@@ -138,9 +150,10 @@ int main() {
                                         sim::Time::fromSeconds(1));
       cfg.dsr.expiryCountsOrigination = countsOrigination;
       std::printf("  T=1s, origination-counts=%d...\n", countsOrigination);
-      t.addRow(row(countsOrigination ? "T=1s, origination counts"
-                                     : "T=1s, forwarded-only (paper)",
-                   run(cfg, reps)));
+      const std::string label = countsOrigination
+                                    ? "T=1s, origination counts"
+                                    : "T=1s, forwarded-only (paper)";
+      t.addRow(row(label, run(cfg, reps, label)));
     }
     t.print("Ablation 6 — expiry 'use' semantics at T=1s",
             "ablation_use_semantics.csv");

@@ -48,7 +48,8 @@ int main() {
     scenario::ScenarioConfig cfg = base;
     cfg.dsr = core::makeVariantConfig(core::Variant::kBase);
     std::printf("  running no-timeout reference...\n");
-    addRow("none", scenario::runReplicated(cfg, scale.replications));
+    addRow("none", scenario::runReplicated(cfg, scale.replications, {},
+                                           "fig1_none"));
   }
 
   const double timeouts[] = {0.25, 0.5, 1, 2, 5, 10, 20, 50};
@@ -57,14 +58,17 @@ int main() {
     cfg.dsr = core::makeVariantConfig(core::Variant::kStaticExpiry,
                                       sim::Time::fromSeconds(t));
     std::printf("  running static timeout %.2fs...\n", t);
-    addRow(Table::num(t, 2), scenario::runReplicated(cfg, scale.replications));
+    addRow(Table::num(t, 2),
+           scenario::runReplicated(cfg, scale.replications, {},
+                                   "fig1_t" + Table::num(t, 2)));
   }
 
   {  // Adaptive reference.
     scenario::ScenarioConfig cfg = base;
     cfg.dsr = core::makeVariantConfig(core::Variant::kAdaptiveExpiry);
     std::printf("  running adaptive timeout...\n");
-    addRow("adaptive", scenario::runReplicated(cfg, scale.replications));
+    addRow("adaptive", scenario::runReplicated(cfg, scale.replications, {},
+                                               "fig1_adaptive"));
   }
 
   table.print("Fig. 1 — metrics vs route expiry timeout (pause 0, 3 pkt/s)",

@@ -50,7 +50,9 @@ int main() {
       cfg.pause = sim::Time::fromSeconds(pauseSec);
       cfg.dsr = core::makeVariantConfig(v);
       std::printf("  pause %.0fs, %s...\n", pauseSec, core::toString(v));
-      const auto agg = scenario::runReplicated(cfg, scale.replications);
+      const auto agg = scenario::runReplicated(
+          cfg, scale.replications, {},
+          "fig2_p" + Table::num(pauseSec, 0) + "_" + core::toString(v));
       dRow.push_back(Table::num(agg.deliveryFraction.mean(), 3));
       lRow.push_back(Table::num(agg.avgDelaySec.mean(), 3));
       oRow.push_back(Table::num(agg.normalizedOverhead.mean(), 2));

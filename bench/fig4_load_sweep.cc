@@ -50,7 +50,9 @@ int main() {
       cfg.packetsPerSecond = rate;
       cfg.dsr = core::makeVariantConfig(v);
       std::printf("  %.0f pkt/s, %s...\n", rate, core::toString(v));
-      const auto agg = scenario::runReplicated(cfg, scale.replications);
+      const auto agg = scenario::runReplicated(
+          cfg, scale.replications, {},
+          "fig4_r" + Table::num(rate, 0) + "_" + core::toString(v));
       tRow.push_back(Table::num(agg.throughputKbps.mean(), 1));
       lRow.push_back(Table::num(agg.avgDelaySec.mean(), 3));
       oRow.push_back(Table::num(agg.normalizedOverhead.mean(), 2));

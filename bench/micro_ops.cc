@@ -11,6 +11,7 @@
 #include "src/scenario/scenario.h"
 #include "src/sim/rng.h"
 #include "src/sim/scheduler.h"
+#include "src/telemetry/trace.h"
 
 namespace {
 
@@ -123,21 +124,78 @@ void BM_WaypointPositionQuery(benchmark::State& state) {
 }
 BENCHMARK(BM_WaypointPositionQuery);
 
+scenario::ScenarioConfig smallSimConfig() {
+  scenario::ScenarioConfig cfg;
+  cfg.numNodes = 20;
+  cfg.field = {800.0, 400.0};
+  cfg.numFlows = 5;
+  cfg.packetsPerSecond = 2.0;
+  cfg.duration = sim::Time::seconds(10);
+  cfg.mobilitySeed = 3;
+  // Pin telemetry off regardless of MANET_* env so the baseline is stable.
+  cfg.telemetry = telemetry::TelemetryConfig{};
+  return cfg;
+}
+
 void BM_SmallSimulationEventsPerSec(benchmark::State& state) {
   for (auto _ : state) {
-    scenario::ScenarioConfig cfg;
-    cfg.numNodes = 20;
-    cfg.field = {800.0, 400.0};
-    cfg.numFlows = 5;
-    cfg.packetsPerSecond = 2.0;
-    cfg.duration = sim::Time::seconds(10);
-    cfg.mobilitySeed = 3;
-    const scenario::RunResult r = scenario::runScenario(cfg);
+    const scenario::RunResult r = scenario::runScenario(smallSimConfig());
     state.counters["events"] = static_cast<double>(r.eventsExecuted);
     benchmark::DoNotOptimize(r.metrics.dataDelivered);
   }
 }
 BENCHMARK(BM_SmallSimulationEventsPerSec)->Unit(benchmark::kMillisecond);
+
+// Same simulation with a ring sink attached: the cost of tracing when ON.
+// Compare against BM_SmallSimulationEventsPerSec for the enabled overhead.
+void BM_SmallSimulationTraced(benchmark::State& state) {
+  for (auto _ : state) {
+    scenario::ScenarioConfig cfg = smallSimConfig();
+    cfg.telemetry.ringCapacity = 1 << 16;
+    const scenario::RunResult r = scenario::runScenario(cfg);
+    state.counters["events"] = static_cast<double>(r.eventsExecuted);
+    benchmark::DoNotOptimize(r.metrics.dataDelivered);
+  }
+}
+BENCHMARK(BM_SmallSimulationTraced)->Unit(benchmark::kMillisecond);
+
+// The hook guard every trace site pays when tracing is disabled: a null
+// check plus Tracer::enabled() (an empty-vector check). This is the cost
+// added to the hot path when no sink is attached — it must stay ~free.
+void BM_TracerDisabledHookGuard(benchmark::State& state) {
+  telemetry::Tracer tracer;
+  telemetry::Tracer* hook = &tracer;
+  benchmark::DoNotOptimize(hook);
+  std::uint64_t taken = 0;
+  for (auto _ : state) {
+    if (hook != nullptr && hook->enabled()) ++taken;
+    benchmark::DoNotOptimize(taken);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TracerDisabledHookGuard);
+
+// Cost of one enabled emit into the in-memory ring (record construction,
+// dispatch, ring copy).
+void BM_TracerRingEmit(benchmark::State& state) {
+  telemetry::Tracer tracer;
+  telemetry::RingBufferSink ring(4096);
+  tracer.addSink(&ring);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    telemetry::TraceRecord r;
+    r.at = sim::Time::micros(static_cast<std::int64_t>(++i));
+    r.event = telemetry::TraceEvent::kPktForward;
+    r.node = static_cast<net::NodeId>(i % 100);
+    r.uid = i;
+    r.src = 1;
+    r.dst = 2;
+    tracer.emit(r);
+    benchmark::DoNotOptimize(ring.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TracerRingEmit);
 
 }  // namespace
 

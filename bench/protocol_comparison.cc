@@ -51,7 +51,9 @@ int main() {
       cfg.dsr = core::makeVariantConfig(r.variant);
       cfg.aodv.intermediateReplies = r.intermediateReplies;
       std::printf("  pause %.0fs, %s...\n", frac * runLen, r.name);
-      const auto agg = scenario::runReplicated(cfg, scale.replications);
+      const auto agg = scenario::runReplicated(
+          cfg, scale.replications, {},
+          "proto_p" + Table::num(frac * runLen, 0) + "_" + r.name);
       dRow.push_back(Table::num(agg.deliveryFraction.mean(), 3));
       oRow.push_back(Table::num(agg.normalizedOverhead.mean(), 2));
     }

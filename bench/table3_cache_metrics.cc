@@ -38,7 +38,9 @@ int main() {
     scenario::ScenarioConfig cfg = base;
     cfg.dsr = core::makeVariantConfig(v);
     std::printf("  running %s...\n", core::toString(v));
-    const auto agg = scenario::runReplicated(cfg, scale.replications);
+    const auto agg = scenario::runReplicated(
+        cfg, scale.replications, {},
+        std::string("table3_") + core::toString(v));
     table.addRow({core::toString(v), Table::num(agg.goodReplyPct.mean(), 1),
                   Table::num(agg.invalidCacheHitPct.mean(), 1),
                   Table::num(agg.cacheHits.mean(), 0),

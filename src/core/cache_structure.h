@@ -18,6 +18,7 @@
 
 #include "src/net/packet.h"
 #include "src/sim/time.h"
+#include "src/telemetry/trace.h"
 
 namespace manet::core {
 
@@ -57,6 +58,34 @@ class RouteCacheBase {
   virtual void clear() = 0;
   /// Number of stored entries (paths or links, structure-dependent).
   virtual std::size_t size() const = 0;
+
+  /// Visit every cached route: path caches yield stored paths, link caches
+  /// yield individual links as two-node routes. Used by the telemetry
+  /// sampler (invalid-entry fraction via the link oracle) and inspectors.
+  using RouteVisitor = std::function<void(std::span<const net::NodeId>)>;
+  virtual void forEachRoute(const RouteVisitor& visit) const = 0;
+
+  /// Observability: emit evict/expire records through `tracer` (may be
+  /// null). `owner` stamps the records' node id.
+  void bindTracer(telemetry::Tracer* tracer, net::NodeId owner) {
+    tracer_ = tracer;
+    traceOwner_ = owner;
+  }
+
+ protected:
+  /// Emit a cache-scoped trace record if tracing is live.
+  void traceCacheEvent(telemetry::TraceEvent event, std::int64_t detail) {
+    if (tracer_ == nullptr || !tracer_->enabled()) return;
+    telemetry::TraceRecord r;
+    r.at = tracer_->now();
+    r.event = event;
+    r.node = traceOwner_;
+    r.detail = detail;
+    tracer_->emit(r);
+  }
+
+  telemetry::Tracer* tracer_ = nullptr;
+  net::NodeId traceOwner_ = 0;
 };
 
 enum class CacheStructure { kPath, kLink };

@@ -36,7 +36,8 @@ std::unique_ptr<RouteCacheBase> makeCache(CacheStructure s, net::NodeId self,
 DsrAgent::DsrAgent(net::NodeId self, mac::DcfMac& mac, sim::Scheduler& sched,
                    sim::Rng rng, const DsrConfig& cfg,
                    metrics::Metrics* metrics,
-                   const metrics::LinkOracle* oracle)
+                   const metrics::LinkOracle* oracle,
+                   telemetry::Tracer* tracer)
     : self_(self),
       mac_(mac),
       sched_(sched),
@@ -44,10 +45,13 @@ DsrAgent::DsrAgent(net::NodeId self, mac::DcfMac& mac, sim::Scheduler& sched,
       cfg_(cfg),
       metrics_(metrics),
       oracle_(oracle),
+      tracer_(tracer),
       cache_(makeCache(cfg.cacheStructure, self, cfg.routeCacheCapacity)),
       neg_(cfg.negCacheCapacity, cfg.negCacheTtl),
       adaptive_(cfg.adaptiveAlpha, cfg.adaptiveMinTimeout),
       sendBuf_(cfg.sendBufferCapacity, cfg.sendBufferTimeout) {
+  cache_->bindTracer(tracer_, self_);
+  neg_.bindTracer(tracer_, self_);
   mac_.setHandlers(mac::DcfMac::Handlers{
       .receive = [this](net::PacketPtr p,
                         net::NodeId from) { onReceive(std::move(p), from); },
@@ -89,6 +93,7 @@ void DsrAgent::sendData(net::NodeId dst, std::uint32_t payloadBytes,
   p->originatedAt = sched_.now();
   p->flowId = flowId;
   p->seqInFlow = seqInFlow;
+  tracePacketEvent(telemetry::TraceEvent::kPktOriginate, *p);
 
   auto route = lookupRoute(dst);
   if (route) {
@@ -97,8 +102,23 @@ void DsrAgent::sendData(net::NodeId dst, std::uint32_t payloadBytes,
     transmitAlongRoute(std::move(p));
     return;
   }
+  if (tracing()) {
+    telemetry::TraceRecord miss;
+    miss.at = sched_.now();
+    miss.event = telemetry::TraceEvent::kCacheMiss;
+    miss.node = self_;
+    miss.src = self_;
+    miss.dst = dst;
+    tracer_->emit(miss);
+  }
   auto evicted = sendBuf_.push(std::move(p), dst, sched_.now());
   if (metrics_) metrics_->dropSendBufferOverflow += evicted.size();
+  for (const auto& e : evicted) {
+    if (e.packet) {
+      tracePacketEvent(telemetry::TraceEvent::kPktDrop, *e.packet,
+                       telemetry::DropReason::kSendBufferOverflow);
+    }
+  }
   startDiscovery(dst);
 }
 
@@ -107,6 +127,7 @@ void DsrAgent::sendPacket(std::shared_ptr<net::Packet> p) {
   if (metrics_) ++metrics_->dataOriginated;
   p->originatedAt = sched_.now();
   const net::NodeId dst = p->dst;
+  tracePacketEvent(telemetry::TraceEvent::kPktOriginate, *p);
   auto route = lookupRoute(dst);
   if (route) {
     recordCacheHit(*route);
@@ -114,8 +135,23 @@ void DsrAgent::sendPacket(std::shared_ptr<net::Packet> p) {
     transmitAlongRoute(std::move(p));
     return;
   }
+  if (tracing()) {
+    telemetry::TraceRecord miss;
+    miss.at = sched_.now();
+    miss.event = telemetry::TraceEvent::kCacheMiss;
+    miss.node = self_;
+    miss.src = self_;
+    miss.dst = dst;
+    tracer_->emit(miss);
+  }
   auto evicted = sendBuf_.push(std::move(p), dst, sched_.now());
   if (metrics_) metrics_->dropSendBufferOverflow += evicted.size();
+  for (const auto& e : evicted) {
+    if (e.packet) {
+      tracePacketEvent(telemetry::TraceEvent::kPktDrop, *e.packet,
+                       telemetry::DropReason::kSendBufferOverflow);
+    }
+  }
   startDiscovery(dst);
 }
 
@@ -182,6 +218,9 @@ void DsrAgent::handleData(const net::PacketPtr& p) {
       metrics_->bytesDelivered += p->payloadBytes;
       metrics_->delaySumSec += (sched_.now() - p->originatedAt).toSeconds();
     }
+    tracePacketEvent(telemetry::TraceEvent::kPktDeliver, *p,
+                     telemetry::DropReason::kNone,
+                     (sched_.now() - p->originatedAt).ns() / 1000);
     // The destination also learns the (reversed) route back to the source.
     cacheRoute(reversed(hops));
     for (const DeliveryHandler& h : deliveryHandlers_) h(*p);
@@ -203,11 +242,14 @@ void DsrAgent::forwardData(const net::PacketPtr& p) {
       const net::LinkId link{hops[i], hops[i + 1]};
       if (neg_.contains(link, sched_.now())) {
         if (metrics_) ++metrics_->dropNegativeCache;
+        tracePacketEvent(telemetry::TraceEvent::kPktDrop, *p,
+                         telemetry::DropReason::kNegativeCache);
         originateError(link, p.get());
         return;
       }
     }
   }
+  tracePacketEvent(telemetry::TraceEvent::kPktForward, *p);
   transmitAlongRoute(net::clone(*p));
 }
 
@@ -462,11 +504,21 @@ void DsrAgent::drainSendBuffer() {
 
 void DsrAgent::onSendFailed(net::PacketPtr p, net::NodeId nextHop) {
   const net::LinkId broken{self_, nextHop};
+  const bool fake = oracle_ != nullptr &&
+                    oracle_->linkValid(self_, nextHop, sched_.now());
   if (metrics_) {
     ++metrics_->linkBreaksDetected;
-    if (oracle_ != nullptr && oracle_->linkValid(self_, nextHop, sched_.now())) {
-      ++metrics_->fakeLinkBreaks;  // congestion, not mobility
-    }
+    if (fake) ++metrics_->fakeLinkBreaks;  // congestion, not mobility
+  }
+  if (tracing()) {
+    telemetry::TraceRecord r;
+    r.at = sched_.now();
+    r.event = telemetry::TraceEvent::kLinkBreak;
+    r.node = self_;
+    r.src = self_;
+    r.dst = nextHop;
+    r.detail = fake ? 1 : 0;
+    tracer_->emit(r);
   }
   noteBrokenLink(broken);
 
@@ -478,12 +530,16 @@ void DsrAgent::onSendFailed(net::PacketPtr p, net::NodeId nextHop) {
     originateError(broken, p.get());
     if (!trySalvage(*p, broken)) {
       if (metrics_) ++metrics_->dropLinkFailNoSalvage;
+      tracePacketEvent(telemetry::TraceEvent::kPktDrop, *p,
+                       telemetry::DropReason::kLinkFailNoSalvage);
     }
   }
   for (const mac::QueuedPacket& qp : purged) {
     if (qp.packet->kind != net::PacketKind::kData) continue;
     if (!trySalvage(*qp.packet, broken)) {
       if (metrics_) ++metrics_->dropLinkFailNoSalvage;
+      tracePacketEvent(telemetry::TraceEvent::kPktDrop, *qp.packet,
+                       telemetry::DropReason::kLinkFailNoSalvage);
     }
   }
 }
@@ -535,6 +591,7 @@ void DsrAgent::originateError(net::LinkId link, const net::Packet* failed) {
     // Technique 1: bad news travels as a MAC broadcast; receivers clean
     // their caches and selectively rebroadcast (see handleErrorBroadcast).
     p->dst = net::kBroadcast;
+    traceRerr(telemetry::TraceEvent::kRerrOriginate, link, /*detail=*/1);
     mac_.send(std::move(p), net::kBroadcast, /*priority=*/true);
     return;
   }
@@ -555,6 +612,7 @@ void DsrAgent::originateError(net::LinkId link, const net::Packet* failed) {
       std::make_reverse_iterator(selfIt + 1), hops.rend());
   p->dst = back.back();
   p->route = net::SourceRoute{std::move(back), 0};
+  traceRerr(telemetry::TraceEvent::kRerrOriginate, link, /*detail=*/0);
   transmitAlongRoute(std::move(p));
 }
 
@@ -567,6 +625,8 @@ void DsrAgent::handleErrorUnicast(const net::PacketPtr& p) {
     if (cfg_.gratuitousRepair) pendingRepairError_ = p->rerr->broken;
     return;
   }
+  traceRerr(telemetry::TraceEvent::kRerrForward, p->rerr->broken,
+            /*detail=*/0);
   transmitAlongRoute(net::clone(*p));
 }
 
@@ -586,6 +646,7 @@ void DsrAgent::handleErrorBroadcast(const net::PacketPtr& p) {
 
   if (hadLink && usedInForwarding) {
     if (metrics_) ++metrics_->rerrWideRebroadcasts;
+    traceRerr(telemetry::TraceEvent::kRerrForward, err.broken, /*detail=*/1);
     auto fwd = net::clone(*p);
     const auto jitter = sim::Time::nanos(rng_.uniformInt(
         0, std::max<std::int64_t>(1, cfg_.broadcastJitterMax.ns())));
@@ -702,11 +763,47 @@ std::optional<std::vector<net::NodeId>> DsrAgent::lookupRoute(
 }
 
 void DsrAgent::recordCacheHit(std::span<const net::NodeId> route) {
-  if (!metrics_) return;
-  ++metrics_->cacheHits;
-  if (oracle_ != nullptr && !oracle_->routeValid(route, sched_.now())) {
-    ++metrics_->invalidCacheHits;
+  const bool valid =
+      oracle_ == nullptr || oracle_->routeValid(route, sched_.now());
+  if (metrics_) {
+    ++metrics_->cacheHits;
+    if (oracle_ != nullptr && !valid) ++metrics_->invalidCacheHits;
   }
+  if (tracing()) {
+    telemetry::TraceRecord r;
+    r.at = sched_.now();
+    r.event = telemetry::TraceEvent::kCacheHit;
+    r.node = self_;
+    r.src = self_;
+    r.dst = route.empty() ? 0 : route.back();
+    r.detail = oracle_ == nullptr ? -1 : (valid ? 1 : 0);
+    tracer_->emit(r);
+  }
+}
+
+void DsrAgent::tracePacketEvent(telemetry::TraceEvent event,
+                                const net::Packet& p,
+                                telemetry::DropReason reason,
+                                std::int64_t detail) {
+  if (!tracing()) return;
+  telemetry::TraceRecord r =
+      telemetry::packetRecord(event, sched_.now(), self_, p, reason);
+  r.detail = detail;
+  tracer_->emit(r);
+}
+
+void DsrAgent::traceRerr(telemetry::TraceEvent event, net::LinkId broken,
+                         std::int64_t detail) {
+  if (!tracing()) return;
+  telemetry::TraceRecord r;
+  r.at = sched_.now();
+  r.event = event;
+  r.node = self_;
+  r.kind = net::PacketKind::kRouteError;
+  r.src = broken.from;
+  r.dst = broken.to;
+  r.detail = detail;
+  tracer_->emit(r);
 }
 
 // --------------------------------------------------------------- periodic
@@ -726,6 +823,12 @@ void DsrAgent::periodicExpiry() {
 void DsrAgent::periodicBufferSweep() {
   const auto expired = sendBuf_.expire(sched_.now());
   if (metrics_) metrics_->dropSendBufferTimeout += expired.size();
+  for (const auto& e : expired) {
+    if (e.packet) {
+      tracePacketEvent(telemetry::TraceEvent::kPktDrop, *e.packet,
+                       telemetry::DropReason::kSendBufferTimeout);
+    }
+  }
   // Safety net: if packets are waiting but no discovery is running (e.g.
   // the discovery ended because a snooped route later vanished), restart.
   for (auto& [target, st] : discovery_) {

@@ -43,9 +43,12 @@ namespace manet::core {
 class DsrAgent final : public net::RoutingAgent {
  public:
   /// `oracle` is optional and measurement-only (cache-correctness metrics).
+  /// `tracer` is optional; when enabled the agent emits packet-lifecycle,
+  /// cache and route-error trace records (see src/telemetry/trace.h).
   DsrAgent(net::NodeId self, mac::DcfMac& mac, sim::Scheduler& sched,
            sim::Rng rng, const DsrConfig& cfg, metrics::Metrics* metrics,
-           const metrics::LinkOracle* oracle);
+           const metrics::LinkOracle* oracle,
+           telemetry::Tracer* tracer = nullptr);
 
   DsrAgent(const DsrAgent&) = delete;
   DsrAgent& operator=(const DsrAgent&) = delete;
@@ -127,6 +130,16 @@ class DsrAgent final : public net::RoutingAgent {
   /// Count a cache hit and its oracle-checked validity.
   void recordCacheHit(std::span<const net::NodeId> route);
 
+  // Tracing helpers (no-ops when no sink is attached).
+  bool tracing() const { return tracer_ != nullptr && tracer_->enabled(); }
+  void tracePacketEvent(
+      telemetry::TraceEvent event, const net::Packet& p,
+      telemetry::DropReason reason = telemetry::DropReason::kNone,
+      std::int64_t detail = 0);
+  /// Route-error records carry the broken link's endpoints in src/dst.
+  void traceRerr(telemetry::TraceEvent event, net::LinkId broken,
+                 std::int64_t detail);
+
   // Transmission helpers.
   void transmitAlongRoute(std::shared_ptr<net::Packet> p);
   void forwardData(const net::PacketPtr& p);
@@ -149,6 +162,7 @@ class DsrAgent final : public net::RoutingAgent {
   DsrConfig cfg_;
   metrics::Metrics* metrics_;
   const metrics::LinkOracle* oracle_;
+  telemetry::Tracer* tracer_;
 
   std::unique_ptr<RouteCacheBase> cache_;
   NegativeCache neg_;

@@ -111,12 +111,23 @@ std::size_t LinkCache::expireUnusedSince(sim::Time cutoff) {
       ++it;
     }
   }
+  if (pruned > 0) {
+    traceCacheEvent(telemetry::TraceEvent::kCacheExpire,
+                    static_cast<std::int64_t>(pruned));
+  }
   return pruned;
 }
 
 void LinkCache::clear() {
   links_.clear();
   adj_.clear();
+}
+
+void LinkCache::forEachRoute(const RouteVisitor& visit) const {
+  for (const auto& [link, info] : links_) {
+    const net::NodeId hops[2] = {link.from, link.to};
+    visit(hops);
+  }
 }
 
 void LinkCache::evictOldest() {
@@ -131,6 +142,7 @@ void LinkCache::evictOldest() {
   if (oldest == links_.end()) return;
   const net::LinkId victim = oldest->first;
   links_.erase(oldest);
+  traceCacheEvent(telemetry::TraceEvent::kCacheEvict, 1);
   auto adjIt = adj_.find(victim.from);
   if (adjIt != adj_.end()) {
     std::erase(adjIt->second, victim.to);

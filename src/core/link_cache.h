@@ -33,6 +33,8 @@ class LinkCache final : public RouteCacheBase {
   std::size_t expireUnusedSince(sim::Time cutoff) override;
   void clear() override;
   std::size_t size() const override { return links_.size(); }
+  /// Visits each stored link as a two-node route.
+  void forEachRoute(const RouteVisitor& visit) const override;
 
   net::NodeId owner() const { return owner_; }
 

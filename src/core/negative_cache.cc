@@ -24,6 +24,7 @@ void NegativeCache::insert(net::LinkId link, sim::Time now) {
   }
   expiry_.emplace(link, now + ttl_);
   fifo_.push_back(link);
+  traceNegEvent(telemetry::TraceEvent::kNegCacheInsert, link);
 }
 
 bool NegativeCache::contains(net::LinkId link, sim::Time now) {
@@ -33,6 +34,7 @@ bool NegativeCache::contains(net::LinkId link, sim::Time now) {
     expiry_.erase(it);
     auto pos = std::find(fifo_.begin(), fifo_.end(), link);
     if (pos != fifo_.end()) fifo_.erase(pos);
+    traceNegEvent(telemetry::TraceEvent::kNegCacheExpire, link);
     return false;
   }
   return true;
@@ -60,9 +62,23 @@ void NegativeCache::expire(sim::Time now) {
     if (it->second > now) break;  // FIFO front has the earliest expiry only
                                   // approximately; refreshes reorder — do a
                                   // full sweep below when the front is stale.
+    const net::LinkId gone = it->first;
     expiry_.erase(it);
     fifo_.pop_front();
+    traceNegEvent(telemetry::TraceEvent::kNegCacheExpire, gone);
   }
+}
+
+void NegativeCache::traceNegEvent(telemetry::TraceEvent event,
+                                  net::LinkId link) {
+  if (tracer_ == nullptr || !tracer_->enabled()) return;
+  telemetry::TraceRecord r;
+  r.at = tracer_->now();
+  r.event = event;
+  r.node = traceOwner_;
+  r.src = link.from;
+  r.dst = link.to;
+  tracer_->emit(r);
 }
 
 }  // namespace manet::core

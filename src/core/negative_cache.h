@@ -16,6 +16,7 @@
 
 #include "src/net/packet.h"
 #include "src/sim/time.h"
+#include "src/telemetry/trace.h"
 
 namespace manet::core {
 
@@ -41,9 +42,19 @@ class NegativeCache {
   std::size_t capacity() const { return capacity_; }
   sim::Time ttl() const { return ttl_; }
 
+  /// Observability: emit insert/expire records through `tracer` (may be
+  /// null). `owner` stamps the records' node id.
+  void bindTracer(telemetry::Tracer* tracer, net::NodeId owner) {
+    tracer_ = tracer;
+    traceOwner_ = owner;
+  }
+
  private:
   void expire(sim::Time now);
+  void traceNegEvent(telemetry::TraceEvent event, net::LinkId link);
 
+  telemetry::Tracer* tracer_ = nullptr;
+  net::NodeId traceOwner_ = 0;
   std::size_t capacity_;
   sim::Time ttl_;
   std::unordered_map<net::LinkId, sim::Time, net::LinkIdHash> expiry_;

@@ -22,6 +22,7 @@ bool RouteCache::insert(std::span<const net::NodeId> hops, sim::Time now) {
   }
   if (paths_.size() >= capacity_) {
     paths_.erase(paths_.begin());  // FIFO eviction
+    traceCacheEvent(telemetry::TraceEvent::kCacheEvict, 1);
   }
   // New links start their usage clock at insertion time.
   for (std::size_t i = 0; i + 1 < path.size(); ++i) {
@@ -109,12 +110,20 @@ std::size_t RouteCache::expireUnusedSince(sim::Time cutoff) {
     }
   }
   dropUnroutable();
+  if (pruned > 0) {
+    traceCacheEvent(telemetry::TraceEvent::kCacheExpire,
+                    static_cast<std::int64_t>(pruned));
+  }
   return pruned;
 }
 
 void RouteCache::clear() {
   paths_.clear();
   lastUsed_.clear();
+}
+
+void RouteCache::forEachRoute(const RouteVisitor& visit) const {
+  for (const CachedPath& p : paths_) visit(p.hops);
 }
 
 void RouteCache::dropUnroutable() {

@@ -73,6 +73,7 @@ class RouteCache final : public RouteCacheBase {
   std::size_t expireUnusedSince(sim::Time cutoff) override;
 
   void clear() override;
+  void forEachRoute(const RouteVisitor& visit) const override;
 
  private:
   void dropUnroutable();

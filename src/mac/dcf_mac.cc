@@ -8,13 +8,15 @@
 namespace manet::mac {
 
 DcfMac::DcfMac(net::NodeId id, phy::Radio& radio, sim::Scheduler& sched,
-               sim::Rng rng, const MacConfig& cfg, metrics::Metrics* metrics)
+               sim::Rng rng, const MacConfig& cfg, metrics::Metrics* metrics,
+               telemetry::Tracer* tracer)
     : id_(id),
       radio_(radio),
       sched_(sched),
       rng_(std::move(rng)),
       cfg_(cfg),
       metrics_(metrics),
+      tracer_(tracer),
       cw_(cfg.cwMin) {
   radio_.setReceiveHandler([this](const Frame& f) { onFrame(f); });
 }
@@ -34,6 +36,11 @@ sim::Time DcfMac::ackTimeoutFor(std::uint32_t) const {
 void DcfMac::send(net::PacketPtr pkt, net::NodeId nextHop, bool priority) {
   if (queue_.size() >= cfg_.queueCapacity) {
     if (metrics_) ++metrics_->dropIfqFull;
+    if (tracer_ && tracer_->enabled() && pkt) {
+      tracer_->emit(telemetry::packetRecord(
+          telemetry::TraceEvent::kPktDrop, sched_.now(), id_, *pkt,
+          telemetry::DropReason::kIfqFull));
+    }
     return;
   }
   QueuedPacket qp{std::move(pkt), nextHop};
@@ -207,6 +214,11 @@ void DcfMac::onFrame(const Frame& f) {
         auto it = lastDeliveredSeq_.find(f.src);
         if (f.retry && it != lastDeliveredSeq_.end() && it->second == f.seq) {
           if (metrics_) ++metrics_->dropMacDuplicate;
+          if (tracer_ && tracer_->enabled() && f.packet) {
+            tracer_->emit(telemetry::packetRecord(
+                telemetry::TraceEvent::kPktDrop, sched_.now(), id_, *f.packet,
+                telemetry::DropReason::kMacDuplicate));
+          }
           break;
         }
         lastDeliveredSeq_[f.src] = f.seq;

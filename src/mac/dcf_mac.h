@@ -27,6 +27,7 @@
 #include "src/phy/radio.h"
 #include "src/sim/rng.h"
 #include "src/sim/scheduler.h"
+#include "src/telemetry/trace.h"
 
 namespace manet::mac {
 
@@ -69,7 +70,8 @@ class DcfMac {
   };
 
   DcfMac(net::NodeId id, phy::Radio& radio, sim::Scheduler& sched,
-         sim::Rng rng, const MacConfig& cfg, metrics::Metrics* metrics);
+         sim::Rng rng, const MacConfig& cfg, metrics::Metrics* metrics,
+         telemetry::Tracer* tracer = nullptr);
 
   void setHandlers(Handlers h) { handlers_ = std::move(h); }
 
@@ -118,6 +120,7 @@ class DcfMac {
   sim::Rng rng_;
   MacConfig cfg_;
   metrics::Metrics* metrics_;
+  telemetry::Tracer* tracer_;
   Handlers handlers_;
 
   std::deque<QueuedPacket> queue_;

@@ -72,6 +72,13 @@ struct Metrics {
   std::uint64_t negCacheInsertions = 0;
 
   // ---- derived metrics (paper's plots) ----
+  /// Sum of every drop counter (one packet may be counted at most once:
+  /// each drop site increments exactly one reason).
+  std::uint64_t totalDropped() const {
+    return dropSendBufferTimeout + dropSendBufferOverflow + dropIfqFull +
+           dropLinkFailNoSalvage + dropNegativeCache + dropTtlExpired +
+           dropMacDuplicate;
+  }
   double packetDeliveryFraction() const {
     return dataOriginated == 0
                ? 0.0

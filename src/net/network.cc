@@ -7,14 +7,16 @@ Network::Network(const NetworkConfig& cfg, std::uint64_t seed)
       rng_(seed),
       channel_(sched_, cfg.phy),
       oracle_([this](NodeId id, sim::Time t) { return positionOf(id, t); },
-              cfg.phy.rangeMeters) {}
+              cfg.phy.rangeMeters) {
+  tracer_.bindClock(&sched_);
+}
 
 Node& Network::addNode(std::unique_ptr<mobility::MobilityModel> mobility) {
   const NodeId id = static_cast<NodeId>(nodes_.size());
   const NodeConfig nodeCfg{cfg_.mac, cfg_.protocol, cfg_.dsr, cfg_.aodv};
   nodes_.push_back(std::make_unique<Node>(id, std::move(mobility), channel_,
                                           sched_, rng_, nodeCfg, &metrics_,
-                                          &oracle_));
+                                          &oracle_, &tracer_));
   return *nodes_.back();
 }
 

@@ -12,6 +12,7 @@
 #include "src/phy/channel.h"
 #include "src/sim/rng.h"
 #include "src/sim/scheduler.h"
+#include "src/telemetry/trace.h"
 
 namespace manet::net {
 
@@ -40,6 +41,9 @@ class Network {
   metrics::Metrics& metrics() { return metrics_; }
   const metrics::LinkOracle& oracle() const { return oracle_; }
   const sim::Rng& rng() const { return rng_; }
+  /// Trace dispatch point; attach sinks before adding traffic to capture a
+  /// full run. With no sinks attached, tracing costs one branch per hook.
+  telemetry::Tracer& tracer() { return tracer_; }
 
   Vec2 positionOf(NodeId id, sim::Time t) const {
     return nodes_.at(id)->mobility().positionAt(t);
@@ -54,6 +58,7 @@ class Network {
   phy::Channel channel_;
   metrics::Metrics metrics_;
   metrics::LinkOracle oracle_;
+  telemetry::Tracer tracer_;
   std::vector<std::unique_ptr<Node>> nodes_;
 };
 

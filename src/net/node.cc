@@ -5,17 +5,19 @@ namespace manet::net {
 Node::Node(NodeId id, std::unique_ptr<mobility::MobilityModel> mobility,
            phy::Channel& channel, sim::Scheduler& sched,
            const sim::Rng& baseRng, const NodeConfig& cfg,
-           metrics::Metrics* metrics, const metrics::LinkOracle* oracle)
+           metrics::Metrics* metrics, const metrics::LinkOracle* oracle,
+           telemetry::Tracer* tracer)
     : id_(id),
       protocol_(cfg.protocol),
       mobility_(std::move(mobility)),
       radio_(id, *mobility_, channel, sched),
-      mac_(id, radio_, sched, baseRng.stream("mac", id), cfg.mac, metrics) {
+      mac_(id, radio_, sched, baseRng.stream("mac", id), cfg.mac, metrics,
+           tracer) {
   switch (cfg.protocol) {
     case Protocol::kDsr:
       routing_ = std::make_unique<core::DsrAgent>(
           id, mac_, sched, baseRng.stream("dsr", id), cfg.dsr, metrics,
-          oracle);
+          oracle, tracer);
       break;
     case Protocol::kAodv:
       routing_ = std::make_unique<aodv::AodvAgent>(

@@ -16,6 +16,7 @@
 #include "src/phy/radio.h"
 #include "src/sim/rng.h"
 #include "src/sim/scheduler.h"
+#include "src/telemetry/trace.h"
 
 namespace manet::net {
 
@@ -35,7 +36,8 @@ class Node {
   Node(NodeId id, std::unique_ptr<mobility::MobilityModel> mobility,
        phy::Channel& channel, sim::Scheduler& sched, const sim::Rng& baseRng,
        const NodeConfig& cfg, metrics::Metrics* metrics,
-       const metrics::LinkOracle* oracle);
+       const metrics::LinkOracle* oracle,
+       telemetry::Tracer* tracer = nullptr);
 
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;

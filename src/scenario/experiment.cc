@@ -2,15 +2,24 @@
 
 #include <cstdlib>
 
+#include "src/telemetry/export.h"
+#include "src/telemetry/telemetry_config.h"
+
 namespace manet::scenario {
 
 AggregateResult runReplicated(
     ScenarioConfig base, int replications,
-    const std::function<void(int, const RunResult&)>& onRun) {
+    const std::function<void(int, const RunResult&)>& onRun,
+    const std::string& label) {
   AggregateResult agg;
   for (int i = 0; i < replications; ++i) {
     ScenarioConfig cfg = base;
     cfg.mobilitySeed = base.mobilitySeed + static_cast<std::uint64_t>(i);
+    // Replications must not clobber one another's trace file.
+    if (!cfg.telemetry.traceJsonlPath.empty() && replications > 1) {
+      cfg.telemetry.traceJsonlPath =
+          telemetry::perRunPath(base.telemetry.traceJsonlPath, i);
+    }
     RunResult r = runScenario(cfg);
     const auto& m = r.metrics;
     agg.deliveryFraction.add(m.packetDeliveryFraction());
@@ -23,6 +32,10 @@ AggregateResult runReplicated(
     agg.linkBreaks.add(static_cast<double>(m.linkBreaksDetected));
     if (onRun) onRun(i, r);
     agg.runs.push_back(std::move(r));
+  }
+  if (!base.telemetry.exportDir.empty()) {
+    telemetry::exportAggregate(agg, base,
+                               label.empty() ? std::string("run") : label);
   }
   return agg;
 }

@@ -27,10 +27,14 @@ struct AggregateResult {
 
 /// Run `replications` copies of `base`, varying the mobility seed per run
 /// (base.mobilitySeed + i), and aggregate. `onRun` (optional) observes each
-/// completed run (progress reporting in benches).
+/// completed run (progress reporting in benches). `label` names the
+/// experiment in structured exports: when base.telemetry.exportDir is set
+/// (e.g. via MANET_EXPORT_DIR), the aggregate is written to
+/// <exportDir>/<label>.json plus per-run series CSVs.
 AggregateResult runReplicated(
     ScenarioConfig base, int replications,
-    const std::function<void(int, const RunResult&)>& onRun = {});
+    const std::function<void(int, const RunResult&)>& onRun = {},
+    const std::string& label = {});
 
 /// Scale knobs shared by all bench binaries. Default scale keeps every
 /// qualitative shape but fits a 1-core grading machine; REPRO_FULL=1

@@ -4,6 +4,7 @@
 
 #include "src/mobility/waypoint.h"
 #include "src/sim/rng.h"
+#include "src/util/logging.h"
 
 namespace manet::scenario {
 
@@ -14,6 +15,34 @@ Scenario::Scenario(const ScenarioConfig& cfg) : cfg_(cfg) {
   // different replication is a genuinely different random world, while the
   // traffic pattern below stays fixed across replications.
   network_ = std::make_unique<net::Network>(netCfg, cfg.mobilitySeed);
+
+  // Telemetry: attach sinks before any node exists so even construction-time
+  // events would be caught, and start the sampler before traffic begins.
+  const telemetry::TelemetryConfig& tel = cfg.telemetry;
+  if (tel.ringCapacity > 0) {
+    ring_ = std::make_unique<telemetry::RingBufferSink>(tel.ringCapacity);
+    network_->tracer().addSink(ring_.get());
+  }
+  if (!tel.traceJsonlPath.empty()) {
+    jsonl_ = std::make_unique<telemetry::JsonlFileSink>(tel.traceJsonlPath);
+    if (jsonl_->ok()) network_->tracer().addSink(jsonl_.get());
+  }
+  if (tel.samplePeriod > sim::Time::zero()) {
+    sampler_ =
+        std::make_unique<telemetry::Sampler>(*network_, tel.samplePeriod);
+    sampler_->start();
+  }
+  if (tel.logLevel != util::LogLevel::kNone) {
+    util::setLogLevel(tel.logLevel);
+  }
+  if (tel.captureLogs && network_->tracer().enabled()) {
+    network_->tracer().setLogCaptureLevel(tel.logLevel);
+    telemetry::Tracer* tracer = &network_->tracer();
+    util::setLogSink([tracer](util::LogLevel level, std::string_view msg) {
+      tracer->emitLog(level, msg);
+    });
+    logSinkInstalled_ = true;
+  }
 
   sim::Rng mobilityRng(cfg.mobilitySeed);
   mobility::RandomWaypoint::Params wp;
@@ -53,15 +82,21 @@ Scenario::Scenario(const ScenarioConfig& cfg) : cfg_(cfg) {
   }
 }
 
+Scenario::~Scenario() {
+  if (logSinkInstalled_) util::setLogSink({});
+}
+
 RunResult Scenario::run() {
   const auto wallStart = std::chrono::steady_clock::now();
   network_->run(cfg_.duration);
   const auto wallEnd = std::chrono::steady_clock::now();
+  network_->tracer().flush();
   RunResult r;
   r.metrics = network_->metrics();
   r.duration = cfg_.duration;
   r.eventsExecuted = network_->scheduler().executedCount();
   r.wallSeconds = std::chrono::duration<double>(wallEnd - wallStart).count();
+  if (sampler_) r.series = sampler_->takeSeries();
   return r;
 }
 

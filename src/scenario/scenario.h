@@ -11,6 +11,9 @@
 #include "src/metrics/metrics.h"
 #include "src/net/network.h"
 #include "src/phy/channel.h"
+#include "src/telemetry/sampler.h"
+#include "src/telemetry/telemetry_config.h"
+#include "src/telemetry/trace.h"
 #include "src/traffic/cbr.h"
 #include "src/util/vec2.h"
 
@@ -41,6 +44,11 @@ struct ScenarioConfig {
   aodv::AodvConfig aodv;
   mac::MacConfig mac;
   phy::PhyConfig phy;
+
+  /// Tracing / sampling / export knobs; defaults pick up the MANET_*
+  /// environment overrides so every bench binary is switchable without
+  /// recompiling (see src/telemetry/telemetry_config.h).
+  telemetry::TelemetryConfig telemetry = telemetry::TelemetryConfig::fromEnv();
 };
 
 struct RunResult {
@@ -48,6 +56,8 @@ struct RunResult {
   sim::Time duration;
   std::uint64_t eventsExecuted = 0;
   double wallSeconds = 0.0;
+  /// Time-series samples (empty unless cfg.telemetry.samplePeriod > 0).
+  telemetry::SampleSeries series;
 };
 
 /// A live scenario: the network plus its traffic sources. Exposed (rather
@@ -65,11 +75,21 @@ class Scenario {
   /// Run to completion and collect results.
   RunResult run();
 
+  /// The in-memory ring sink, if cfg.telemetry.ringCapacity > 0.
+  const telemetry::RingBufferSink* ring() const { return ring_.get(); }
+
+  ~Scenario();
+
  private:
   ScenarioConfig cfg_;
   std::unique_ptr<net::Network> network_;
   std::vector<std::unique_ptr<traffic::CbrSource>> sources_;
   std::vector<std::pair<net::NodeId, net::NodeId>> flowEndpoints_;
+  // Telemetry plumbing (sinks outlive the network's Tracer pointers).
+  std::unique_ptr<telemetry::RingBufferSink> ring_;
+  std::unique_ptr<telemetry::JsonlFileSink> jsonl_;
+  std::unique_ptr<telemetry::Sampler> sampler_;
+  bool logSinkInstalled_ = false;
 };
 
 /// Convenience: build and run in one call.

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
+
+#include "src/telemetry/export.h"
 
 namespace manet::scenario {
 
@@ -65,6 +68,11 @@ void Table::print(const std::string& title, const std::string& csvPath) const {
     std::ofstream f(csvPath);
     f << csv();
     std::printf("(csv written to %s)\n", csvPath.c_str());
+    // Mirror the CSV into the structured-export directory, if configured.
+    if (const char* dir = std::getenv("MANET_EXPORT_DIR");
+        dir != nullptr && dir[0] != '\0') {
+      telemetry::writeFile(std::string(dir) + "/" + csvPath, csv());
+    }
   }
   std::fflush(stdout);
 }

@@ -9,25 +9,49 @@ EventId Scheduler::scheduleAt(Time at, std::function<void()> fn) {
   assert(at >= now_ && "cannot schedule in the past");
   const EventId id = nextId_++;
   queue_.push(Entry{at, id, std::move(fn)});
+  states_.push_back(EvState::kPending);
+  assert(baseId_ + states_.size() == nextId_);
   return id;
 }
 
+Scheduler::EvState* Scheduler::stateOf(EventId id) {
+  if (id < baseId_ || id >= nextId_) return nullptr;
+  return &states_[static_cast<std::size_t>(id - baseId_)];
+}
+
+void Scheduler::retire(EventId id) {
+  EvState* st = stateOf(id);
+  assert(st != nullptr && *st != EvState::kDone);
+  if (*st == EvState::kCancelled) --cancelledLive_;
+  *st = EvState::kDone;
+  while (!states_.empty() && states_.front() == EvState::kDone) {
+    states_.pop_front();
+    ++baseId_;
+  }
+}
+
 void Scheduler::cancel(EventId id) {
-  if (id != kInvalidEvent) cancelled_.insert(id);
+  EvState* st = stateOf(id);
+  if (st == nullptr || *st != EvState::kPending) return;  // fired or cancelled
+  *st = EvState::kCancelled;
+  ++cancelledLive_;
 }
 
 void Scheduler::runUntil(Time until) {
   while (!queue_.empty()) {
     const Entry& top = queue_.top();
     if (top.at > until) break;
-    if (cancelled_.erase(top.id) > 0) {
+    const EventId id = top.id;
+    if (*stateOf(id) == EvState::kCancelled) {
       queue_.pop();
+      retire(id);
       continue;
     }
     // Move the handler out before popping so it may schedule/cancel freely.
     Time at = top.at;
     std::function<void()> fn = std::move(const_cast<Entry&>(top).fn);
     queue_.pop();
+    retire(id);  // a handler cancelling its own id is a no-op
     now_ = at;
     ++executed_;
     fn();

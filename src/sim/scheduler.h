@@ -2,9 +2,9 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "src/sim/time.h"
@@ -18,8 +18,11 @@ inline constexpr EventId kInvalidEvent = 0;
 /// Single-threaded discrete-event scheduler.
 ///
 /// Events at equal timestamps fire in scheduling (FIFO) order, which keeps
-/// runs deterministic. Cancellation is lazy: cancelled ids are skipped when
-/// they reach the head of the queue.
+/// runs deterministic. Cancellation is lazy: cancelled entries are skipped
+/// when they reach the head of the queue. Event status is tracked in a
+/// dense per-id window (ids are assigned sequentially and retired roughly
+/// in order), so cancelling an already-fired id is a true no-op and
+/// pendingCount() stays exact.
 class Scheduler {
  public:
   Scheduler() = default;
@@ -49,7 +52,8 @@ class Scheduler {
 
   /// Number of events executed so far (for microbenchmarks / sanity checks).
   std::uint64_t executedCount() const { return executed_; }
-  std::size_t pendingCount() const { return queue_.size() - cancelled_.size(); }
+  /// Number of events still queued and not cancelled.
+  std::size_t pendingCount() const { return queue_.size() - cancelledLive_; }
 
  private:
   struct Entry {
@@ -64,11 +68,26 @@ class Scheduler {
     }
   };
 
+  enum class EvState : std::uint8_t { kPending, kCancelled, kDone };
+
+  /// Status slot for `id`, or nullptr if the id was never issued or its
+  /// slot has been retired (the event already fired).
+  EvState* stateOf(EventId id);
+  /// Mark the popped entry done and retire the leading run of done slots.
+  void retire(EventId id);
+
   Time now_ = Time::zero();
   EventId nextId_ = 1;
   std::uint64_t executed_ = 0;
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
-  std::unordered_set<EventId> cancelled_;
+  /// states_[id - baseId_] for every id not yet retired. The window stays
+  /// small because events retire in near-id order; it is trimmed from the
+  /// front as soon as the oldest outstanding id fires.
+  std::deque<EvState> states_;
+  EventId baseId_ = 1;
+  /// Entries in queue_ whose state is kCancelled (kept exact so
+  /// pendingCount() cannot underflow).
+  std::size_t cancelledLive_ = 0;
 };
 
 }  // namespace manet::sim

@@ -1,0 +1,45 @@
+// Structured run export: JSON and CSV writers for RunResult /
+// AggregateResult and the sampled time series, so bench output is a
+// machine-readable artifact instead of a stdout table.
+//
+// Switched on by ScenarioConfig.telemetry.exportDir (env:
+// MANET_EXPORT_DIR); runReplicated calls exportAggregate automatically.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "src/scenario/experiment.h"
+#include "src/scenario/scenario.h"
+#include "src/telemetry/sampler.h"
+
+namespace manet::telemetry {
+
+/// All Metrics counters plus the paper's derived metrics as one flat JSON
+/// object.
+std::string metricsJson(const metrics::Metrics& m, sim::Time duration);
+
+/// One run: duration, event count, wall time, metrics.
+std::string runResultJson(const scenario::RunResult& r);
+
+/// A replicated experiment: label, scenario parameters, per-metric
+/// aggregate statistics (mean/stddev/min/max/n) and every run's metrics.
+std::string aggregateJson(const scenario::AggregateResult& agg,
+                          const scenario::ScenarioConfig& cfg,
+                          std::string_view label);
+
+/// Sampled series as CSV (header + one row per probe).
+std::string seriesCsv(const SampleSeries& s);
+
+/// Create parent directories as needed and write `content` to `path`.
+/// Returns false (and logs to stderr) on failure.
+bool writeFile(const std::string& path, std::string_view content);
+
+/// Write `<dir>/<label>.json` (aggregate + runs) and, for every run with a
+/// non-empty sampled series, `<dir>/<label>.r<N>.series.csv`. No-op when
+/// cfg.telemetry.exportDir is empty. Returns the number of files written.
+int exportAggregate(const scenario::AggregateResult& agg,
+                    const scenario::ScenarioConfig& cfg,
+                    std::string_view label);
+
+}  // namespace manet::telemetry

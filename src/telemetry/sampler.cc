@@ -1,0 +1,61 @@
+#include "src/telemetry/sampler.h"
+
+#include "src/core/dsr_agent.h"
+
+namespace manet::telemetry {
+
+Sampler::Sampler(net::Network& network, sim::Time period)
+    : network_(network), period_(period) {
+  series_.period = period;
+}
+
+void Sampler::start() {
+  if (period_ <= sim::Time::zero()) return;
+  network_.scheduler().scheduleAfter(period_, [this] { probe(); });
+}
+
+void Sampler::probe() {
+  const sim::Time now = network_.scheduler().now();
+
+  std::size_t dsrNodes = 0;
+  std::size_t cacheEntries = 0;
+  std::size_t sendBufOccupancy = 0;
+  std::size_t routesChecked = 0;
+  std::size_t routesInvalid = 0;
+  const metrics::LinkOracle& oracle = network_.oracle();
+  for (std::size_t i = 0; i < network_.size(); ++i) {
+    net::Node& node = network_.node(static_cast<net::NodeId>(i));
+    if (node.protocol() != net::Protocol::kDsr) continue;
+    ++dsrNodes;
+    const core::DsrAgent& dsr = node.dsr();
+    cacheEntries += dsr.routeCache().size();
+    sendBufOccupancy += dsr.sendBuffer().size();
+    dsr.routeCache().forEachRoute([&](std::span<const net::NodeId> route) {
+      ++routesChecked;
+      if (!oracle.routeValid(route, now)) ++routesInvalid;
+    });
+  }
+
+  series_.timeSec.push_back(now.toSeconds());
+  const double n = dsrNodes > 0 ? static_cast<double>(dsrNodes) : 1.0;
+  series_.meanCacheSize.push_back(static_cast<double>(cacheEntries) / n);
+  series_.invalidEntryFrac.push_back(
+      routesChecked > 0
+          ? static_cast<double>(routesInvalid) /
+                static_cast<double>(routesChecked)
+          : 0.0);
+  series_.meanSendBufOccupancy.push_back(
+      static_cast<double>(sendBufOccupancy) / n);
+
+  const metrics::Metrics& m = network_.metrics();
+  series_.originated.push_back(m.dataOriginated - last_.dataOriginated);
+  series_.delivered.push_back(m.dataDelivered - last_.dataDelivered);
+  series_.dropped.push_back(m.totalDropped() - last_.totalDropped());
+  series_.cacheHits.push_back(m.cacheHits - last_.cacheHits);
+  series_.linkBreaks.push_back(m.linkBreaksDetected - last_.linkBreaksDetected);
+  last_ = m;
+
+  network_.scheduler().scheduleAfter(period_, [this] { probe(); });
+}
+
+}  // namespace manet::telemetry

@@ -1,0 +1,57 @@
+// Time-series sampler: a scheduler-driven periodic probe over the live
+// network, recording per-node cache state and global Metrics deltas into a
+// columnar series — the ns-2-style time-series view the paper's figures are
+// plotted from (cache staleness and drop behaviour *over* a run, not just
+// at its end).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/metrics/metrics.h"
+#include "src/net/network.h"
+#include "src/sim/time.h"
+
+namespace manet::telemetry {
+
+/// Columnar recording; one entry per probe across all vectors.
+struct SampleSeries {
+  sim::Time period = sim::Time::zero();
+  std::vector<double> timeSec;
+  // ---- per-node state, averaged over DSR nodes ----
+  std::vector<double> meanCacheSize;       // cached paths/links per node
+  std::vector<double> invalidEntryFrac;    // stale cached routes / total,
+                                           // checked against the link oracle
+  std::vector<double> meanSendBufOccupancy;
+  // ---- global Metrics deltas since the previous probe ----
+  std::vector<std::uint64_t> originated;
+  std::vector<std::uint64_t> delivered;
+  std::vector<std::uint64_t> dropped;
+  std::vector<std::uint64_t> cacheHits;
+  std::vector<std::uint64_t> linkBreaks;
+
+  std::size_t size() const { return timeSec.size(); }
+  bool empty() const { return timeSec.empty(); }
+};
+
+/// Probes the network every `period` of simulated time, starting at
+/// `period`, until the simulation horizon ends. Create after all nodes are
+/// added; call start() before Network::run.
+class Sampler {
+ public:
+  Sampler(net::Network& network, sim::Time period);
+
+  void start();
+  const SampleSeries& series() const { return series_; }
+  SampleSeries takeSeries() { return std::move(series_); }
+
+ private:
+  void probe();
+
+  net::Network& network_;
+  sim::Time period_;
+  metrics::Metrics last_;
+  SampleSeries series_;
+};
+
+}  // namespace manet::telemetry

@@ -1,0 +1,55 @@
+// Telemetry knobs: one struct switches tracing, sampling and structured
+// export for a run. Every knob has an environment-variable override so the
+// bench binaries become machine-readable without recompiling:
+//
+//   MANET_TRACE_JSONL=<path>   stream every trace record to <path> as JSONL
+//                              (replicated runs get a .rN suffix per seed)
+//   MANET_TRACE_RING=<N>       keep the last N records in memory
+//   MANET_SAMPLE_PERIOD=<sec>  periodic time-series probe (0 = off)
+//   MANET_EXPORT_DIR=<dir>     runReplicated / Table write JSON + CSV
+//                              artifacts into <dir>
+//   MANET_LOG_LEVEL=<level>    none|error|info|debug|trace — one verbosity
+//                              config shared by util::log and trace capture
+//   MANET_TRACE_LOGS=1         mirror util::log lines into the trace
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "src/sim/time.h"
+#include "src/util/logging.h"
+
+namespace manet::telemetry {
+
+struct TelemetryConfig {
+  /// Keep the most recent `ringCapacity` records in memory (0 = off).
+  std::size_t ringCapacity = 0;
+  /// Stream records to this JSONL file ("" = off).
+  std::string traceJsonlPath;
+  /// Periodic time-series probe interval (zero = off). Default when
+  /// enabled via env without a value: 1 s of simulated time.
+  sim::Time samplePeriod = sim::Time::zero();
+  /// Directory for structured run artifacts ("" = off).
+  std::string exportDir;
+  /// Verbosity applied to util::log for the run; also filters kLog records.
+  util::LogLevel logLevel = util::LogLevel::kNone;
+  /// Mirror util::log lines into the trace as kLog records.
+  bool captureLogs = false;
+
+  bool traceEnabled() const {
+    return ringCapacity > 0 || !traceJsonlPath.empty();
+  }
+
+  /// `base` overlaid with any MANET_* environment overrides.
+  static TelemetryConfig fromEnv(TelemetryConfig base);
+  static TelemetryConfig fromEnv();
+};
+
+/// Path variant for replicated runs: "trace.jsonl" -> "trace.r2.jsonl".
+std::string perRunPath(const std::string& path, int run);
+
+/// Parse "none|error|info|debug|trace" (case-insensitive; also accepts
+/// 0..4). Unknown strings return `fallback`.
+util::LogLevel parseLogLevel(const char* s, util::LogLevel fallback);
+
+}  // namespace manet::telemetry

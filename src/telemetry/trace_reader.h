@@ -1,0 +1,27 @@
+// Minimal JSONL trace reading: just enough to replay traces written by
+// JsonlFileSink (flat objects, string/number values) without a JSON
+// dependency. Shared by examples/trace_inspector and the reconciliation
+// integration test.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace manet::telemetry {
+
+/// Value of `"key":"..."` in a flat JSON object line, or nullopt.
+std::optional<std::string> jsonStringField(std::string_view line,
+                                           std::string_view key);
+
+/// Value of `"key":<number>` in a flat JSON object line, or nullopt.
+std::optional<double> jsonNumberField(std::string_view line,
+                                      std::string_view key);
+
+/// Read a JSONL file into lines (empty lines skipped). Returns nullopt if
+/// the file cannot be opened.
+std::optional<std::vector<std::string>> readJsonlFile(
+    const std::string& path);
+
+}  // namespace manet::telemetry

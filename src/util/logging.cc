@@ -1,16 +1,24 @@
 #include "src/util/logging.h"
 
 #include <cstdio>
+#include <utility>
 
 namespace manet::util {
 namespace {
 LogLevel g_level = LogLevel::kNone;
-}
+LogSinkFn g_sink;
+}  // namespace
 
 LogLevel logLevel() { return g_level; }
 void setLogLevel(LogLevel level) { g_level = level; }
 
+void setLogSink(LogSinkFn sink) { g_sink = std::move(sink); }
+
 void logLine(LogLevel level, std::string_view msg) {
+  if (g_sink) {
+    g_sink(level, msg);
+    return;
+  }
   static constexpr const char* kNames[] = {"", "E", "I", "D", "T"};
   std::fprintf(stderr, "[%s] %.*s\n", kNames[static_cast<int>(level)],
                static_cast<int>(msg.size()), msg.data());

@@ -2,10 +2,17 @@
 //
 // Logging is off by default (benches run millions of events); tests and
 // examples can raise the level to trace protocol behaviour. printf-style
-// formatting (libstdc++ 12 has no <format>).
+// formatting (libstdc++ 12 has no <format>); messages of any length are
+// formatted exactly (a second heap-allocating pass handles lines that
+// exceed the stack buffer).
+//
+// Output goes to stderr unless a LogSink is installed; the telemetry layer
+// installs one so log lines become trace records and both share a single
+// verbosity config (ScenarioConfig.telemetry.logLevel / MANET_LOG_LEVEL).
 #pragma once
 
 #include <cstdio>
+#include <functional>
 #include <string>
 #include <string_view>
 
@@ -16,6 +23,11 @@ enum class LogLevel { kNone = 0, kError, kInfo, kDebug, kTrace };
 LogLevel logLevel();
 void setLogLevel(LogLevel level);
 
+/// Redirect formatted log lines (e.g. into a telemetry TraceSink). Pass an
+/// empty function to restore the default stderr writer.
+using LogSinkFn = std::function<void(LogLevel, std::string_view)>;
+void setLogSink(LogSinkFn sink);
+
 void logLine(LogLevel level, std::string_view msg);
 
 template <typename... Args>
@@ -25,8 +37,16 @@ void log(LogLevel level, const char* fmt, Args... args) {
     logLine(level, fmt);
   } else {
     char buf[512];
-    std::snprintf(buf, sizeof(buf), fmt, args...);
-    logLine(level, buf);
+    const int n = std::snprintf(buf, sizeof(buf), fmt, args...);
+    if (n < 0) return;
+    if (static_cast<std::size_t>(n) < sizeof(buf)) {
+      logLine(level, std::string_view(buf, static_cast<std::size_t>(n)));
+    } else {
+      std::string big(static_cast<std::size_t>(n) + 1, '\0');
+      std::snprintf(big.data(), big.size(), fmt, args...);
+      big.resize(static_cast<std::size_t>(n));
+      logLine(level, big);
+    }
   }
 }
 

@@ -1,0 +1,153 @@
+// The telemetry acceptance test: a JSONL trace of a full run must reconcile
+// EXACTLY with the aggregate Metrics counters — every counted drop has a
+// trace record with the matching reason, every origination and delivery has
+// its lifecycle event. This pins the trace hooks to the counter-increment
+// sites; if either side moves, this test fails.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "src/scenario/scenario.h"
+#include "src/telemetry/trace_reader.h"
+
+namespace manet {
+namespace {
+
+using sim::Time;
+
+/// Small but deliberately congested: few nodes relative to the flow count
+/// and rate, moderate mobility, so send-buffer, IFQ, negative-cache, and
+/// link-failure drops all occur.
+scenario::ScenarioConfig congestedScenario() {
+  scenario::ScenarioConfig cfg;
+  cfg.numNodes = 20;
+  cfg.field = {900.0, 450.0};
+  cfg.numFlows = 10;
+  cfg.packetsPerSecond = 6.0;
+  cfg.maxSpeed = 20.0;
+  cfg.duration = Time::seconds(60);
+  cfg.mobilitySeed = 3;
+  cfg.telemetry = telemetry::TelemetryConfig{};  // env-independent
+  return cfg;
+}
+
+struct TraceCounts {
+  std::uint64_t originated = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t forwarded = 0;
+  std::map<std::string, std::uint64_t> dropsByReason;
+  std::uint64_t lines = 0;
+};
+
+TEST(TraceReconcileTest, JsonlDropCountsMatchMetricsExactly) {
+  const std::string path =
+      ::testing::TempDir() + "/reconcile_trace.jsonl";
+  std::remove(path.c_str());
+
+  scenario::ScenarioConfig cfg = congestedScenario();
+  cfg.telemetry.traceJsonlPath = path;
+  const scenario::RunResult r = scenario::runScenario(cfg);
+  const metrics::Metrics& m = r.metrics;
+
+  const auto lines = telemetry::readJsonlFile(path);
+  ASSERT_TRUE(lines.has_value());
+  ASSERT_GT(lines->size(), 0u);
+
+  TraceCounts c;
+  for (const std::string& line : *lines) {
+    ++c.lines;
+    const auto ev = telemetry::jsonStringField(line, "ev");
+    ASSERT_TRUE(ev.has_value()) << line;
+    if (*ev == "pkt_originate") {
+      ++c.originated;
+    } else if (*ev == "pkt_deliver") {
+      ++c.delivered;
+    } else if (*ev == "pkt_forward") {
+      ++c.forwarded;
+    } else if (*ev == "pkt_drop") {
+      const auto reason = telemetry::jsonStringField(line, "reason");
+      ASSERT_TRUE(reason.has_value()) << line;
+      ++c.dropsByReason[*reason];
+    }
+  }
+
+  // Lifecycle events reconcile one-to-one with the data-plane counters.
+  EXPECT_EQ(c.originated, m.dataOriginated);
+  EXPECT_EQ(c.delivered, m.dataDelivered);
+
+  // Every drop reason reconciles exactly with its Metrics counter.
+  EXPECT_EQ(c.dropsByReason["send_buffer_timeout"], m.dropSendBufferTimeout);
+  EXPECT_EQ(c.dropsByReason["send_buffer_overflow"], m.dropSendBufferOverflow);
+  EXPECT_EQ(c.dropsByReason["ifq_full"], m.dropIfqFull);
+  EXPECT_EQ(c.dropsByReason["link_fail_no_salvage"], m.dropLinkFailNoSalvage);
+  EXPECT_EQ(c.dropsByReason["negative_cache"], m.dropNegativeCache);
+  EXPECT_EQ(c.dropsByReason["ttl_expired"], m.dropTtlExpired);
+  EXPECT_EQ(c.dropsByReason["mac_duplicate"], m.dropMacDuplicate);
+
+  // No unknown reason slipped in.
+  std::uint64_t tracedDrops = 0;
+  for (const auto& [reason, n] : c.dropsByReason) tracedDrops += n;
+  EXPECT_EQ(tracedDrops, m.totalDropped());
+
+  // The scenario is congested enough to exercise the interesting reasons;
+  // a quiet network would make the equalities above vacuous.
+  EXPECT_GT(m.totalDropped(), 0u);
+  EXPECT_GT(m.dataDelivered, 0u);
+  EXPECT_GT(c.forwarded, 0u);
+
+  std::remove(path.c_str());
+}
+
+TEST(TraceReconcileTest, CacheEventsArePresentAndConsistent) {
+  const std::string path =
+      ::testing::TempDir() + "/reconcile_cache_trace.jsonl";
+  std::remove(path.c_str());
+
+  scenario::ScenarioConfig cfg = congestedScenario();
+  cfg.telemetry.traceJsonlPath = path;
+  const scenario::RunResult r = scenario::runScenario(cfg);
+
+  const auto lines = telemetry::readJsonlFile(path);
+  ASSERT_TRUE(lines.has_value());
+
+  std::uint64_t hits = 0, linkBreaks = 0, negInserts = 0, rerrs = 0;
+  for (const std::string& line : *lines) {
+    const auto ev = telemetry::jsonStringField(line, "ev");
+    ASSERT_TRUE(ev.has_value());
+    if (*ev == "cache_hit") ++hits;
+    if (*ev == "link_break") ++linkBreaks;
+    if (*ev == "neg_cache_insert") ++negInserts;
+    if (*ev == "rerr_originate") ++rerrs;
+  }
+  EXPECT_EQ(hits, r.metrics.cacheHits);
+  EXPECT_EQ(linkBreaks, r.metrics.linkBreaksDetected);
+  EXPECT_EQ(negInserts, r.metrics.negCacheInsertions);
+  EXPECT_GT(rerrs, 0u);
+
+  std::remove(path.c_str());
+}
+
+TEST(TraceReconcileTest, RingSinkSeesTheSameStreamAsJsonl) {
+  const std::string path =
+      ::testing::TempDir() + "/reconcile_ring_trace.jsonl";
+  std::remove(path.c_str());
+
+  scenario::ScenarioConfig cfg = congestedScenario();
+  cfg.duration = Time::seconds(20);
+  cfg.telemetry.traceJsonlPath = path;
+  cfg.telemetry.ringCapacity = 4096;  // totalRecorded() counts past capacity
+  scenario::Scenario scn(cfg);
+  scn.run();
+
+  ASSERT_NE(scn.ring(), nullptr);
+  const auto lines = telemetry::readJsonlFile(path);
+  ASSERT_TRUE(lines.has_value());
+  EXPECT_EQ(scn.ring()->totalRecorded(), lines->size());
+
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace manet

@@ -95,6 +95,81 @@ TEST(SchedulerTest, ExecutedCountCountsOnlyRunEvents) {
   EXPECT_EQ(s.executedCount(), 1u);
 }
 
+TEST(SchedulerTest, PendingCountTracksScheduleAndRun) {
+  Scheduler s;
+  EXPECT_EQ(s.pendingCount(), 0u);
+  s.scheduleAt(Time::seconds(1), [] {});
+  s.scheduleAt(Time::seconds(2), [] {});
+  EXPECT_EQ(s.pendingCount(), 2u);
+  s.runUntil(Time::seconds(1));
+  EXPECT_EQ(s.pendingCount(), 1u);
+  s.run();
+  EXPECT_EQ(s.pendingCount(), 0u);
+}
+
+TEST(SchedulerTest, PendingCountExcludesCancelledEvents) {
+  Scheduler s;
+  EventId a = s.scheduleAt(Time::seconds(1), [] {});
+  s.scheduleAt(Time::seconds(2), [] {});
+  s.cancel(a);
+  EXPECT_EQ(s.pendingCount(), 1u);
+  s.run();
+  EXPECT_EQ(s.pendingCount(), 0u);
+}
+
+// Regression: cancelling an id that already fired used to pollute the
+// cancelled set, making pendingCount() (queue size minus cancellations)
+// wrap around to a huge value.
+TEST(SchedulerTest, CancelAfterFireDoesNotUnderflowPendingCount) {
+  Scheduler s;
+  EventId id = s.scheduleAt(Time::seconds(1), [] {});
+  s.run();
+  EXPECT_EQ(s.pendingCount(), 0u);
+  s.cancel(id);  // no-op: the event already executed
+  EXPECT_EQ(s.pendingCount(), 0u);
+  s.scheduleAt(Time::seconds(2), [] {});
+  EXPECT_EQ(s.pendingCount(), 1u);
+}
+
+TEST(SchedulerTest, DoubleCancelCountsOnce) {
+  Scheduler s;
+  EventId id = s.scheduleAt(Time::seconds(1), [] {});
+  s.scheduleAt(Time::seconds(2), [] {});
+  s.cancel(id);
+  s.cancel(id);  // second cancel must not double-count
+  EXPECT_EQ(s.pendingCount(), 1u);
+  s.run();
+  EXPECT_EQ(s.pendingCount(), 0u);
+  EXPECT_EQ(s.executedCount(), 1u);
+}
+
+TEST(SchedulerTest, HandlerCancellingItselfIsNoOp) {
+  Scheduler s;
+  EventId self = kInvalidEvent;
+  self = s.scheduleAt(Time::seconds(1), [&] { s.cancel(self); });
+  s.run();
+  EXPECT_EQ(s.pendingCount(), 0u);
+  EXPECT_EQ(s.executedCount(), 1u);
+}
+
+TEST(SchedulerTest, PendingCountStaysExactUnderChurn) {
+  Scheduler s;
+  std::vector<EventId> ids;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 10; ++i) {
+      ids.push_back(
+          s.scheduleAfter(Time::millis(1 + (round + i) % 7), [] {}));
+    }
+    // Cancel a mix of live and long-dead ids.
+    s.cancel(ids[ids.size() - 1]);
+    s.cancel(ids[ids.size() / 2]);
+    s.cancel(ids[0]);
+    s.runUntil(s.now() + Time::millis(3));
+  }
+  s.run();
+  EXPECT_EQ(s.pendingCount(), 0u);
+}
+
 TEST(SchedulerTest, ScheduleAfterUsesCurrentTime) {
   Scheduler s;
   Time when;

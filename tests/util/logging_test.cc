@@ -1,0 +1,78 @@
+#include "src/util/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace manet::util {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    setLogLevel(LogLevel::kTrace);
+    setLogSink([this](LogLevel level, std::string_view msg) {
+      captured_.emplace_back(level, std::string(msg));
+    });
+  }
+  void TearDown() override {
+    setLogSink({});
+    setLogLevel(LogLevel::kNone);
+  }
+
+  std::vector<std::pair<LogLevel, std::string>> captured_;
+};
+
+TEST_F(LoggingTest, SinkReceivesFormattedLine) {
+  log(LogLevel::kInfo, "node %d dropped %s", 7, "pkt");
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].first, LogLevel::kInfo);
+  EXPECT_EQ(captured_[0].second, "node 7 dropped pkt");
+}
+
+TEST_F(LoggingTest, UnformattedLinePassesThrough) {
+  log(LogLevel::kDebug, "plain message");
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].second, "plain message");
+}
+
+// Regression: logLine used to truncate at a fixed 512-byte stack buffer.
+TEST_F(LoggingTest, LongLinesAreFormattedExactly) {
+  const std::string payload(2000, 'x');
+  log(LogLevel::kInfo, "route=[%s] done", payload.c_str());
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].second.size(), payload.size() + 13);
+  EXPECT_EQ(captured_[0].second, "route=[" + payload + "] done");
+}
+
+TEST_F(LoggingTest, BoundaryLengthLineIsExact) {
+  // Exactly at and one past the internal stack-buffer size.
+  for (std::size_t len : {511u, 512u, 513u}) {
+    captured_.clear();
+    const std::string payload(len, 'y');
+    log(LogLevel::kInfo, "%s", payload.c_str());
+    ASSERT_EQ(captured_.size(), 1u) << len;
+    EXPECT_EQ(captured_[0].second, payload) << len;
+  }
+}
+
+TEST_F(LoggingTest, LevelFilterSuppressesBelowThreshold) {
+  setLogLevel(LogLevel::kError);
+  log(LogLevel::kInfo, "invisible %d", 1);
+  log(LogLevel::kTrace, "also invisible");
+  EXPECT_TRUE(captured_.empty());
+  log(LogLevel::kError, "visible");
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].second, "visible");
+}
+
+TEST_F(LoggingTest, EmptySinkRestoresDefaultWithoutCrash) {
+  setLogSink({});
+  setLogLevel(LogLevel::kNone);
+  log(LogLevel::kInfo, "goes nowhere %d", 3);
+  EXPECT_TRUE(captured_.empty());
+}
+
+}  // namespace
+}  // namespace manet::util
