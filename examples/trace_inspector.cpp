@@ -26,7 +26,52 @@ struct FlowStats {
   std::map<std::string, std::uint64_t> dropsByReason;
 };
 
-std::string writeDemoTrace() {
+/// One decoded fault-injection record (node_crash / node_recover /
+/// link_blackout / noise_burst / traffic_surge).
+struct FaultEntry {
+  double t = 0.0;
+  std::string what;
+};
+
+bool isFaultEvent(const std::string& ev) {
+  return ev == "node_crash" || ev == "node_recover" ||
+         ev == "link_blackout" || ev == "noise_burst" ||
+         ev == "traffic_surge";
+}
+
+FaultEntry decodeFault(const std::string& ev, const std::string& line,
+                       double t) {
+  FaultEntry e;
+  e.t = t;
+  const auto node = telemetry::jsonNumberField(line, "node");
+  const auto src = telemetry::jsonNumberField(line, "src");
+  const auto dst = telemetry::jsonNumberField(line, "dst");
+  const auto detail = telemetry::jsonNumberField(line, "detail");
+  char buf[128];
+  if (ev == "node_crash") {
+    std::snprintf(buf, sizeof(buf), "node %d crashed",
+                  node ? static_cast<int>(*node) : -1);
+  } else if (ev == "node_recover") {
+    std::snprintf(buf, sizeof(buf), "node %d recovered%s",
+                  node ? static_cast<int>(*node) : -1,
+                  detail && *detail != 0.0 ? " (caches wiped)" : "");
+  } else if (ev == "link_blackout") {
+    std::snprintf(buf, sizeof(buf), "link %d->%d blacked out for %.3f s",
+                  src ? static_cast<int>(*src) : -1,
+                  dst ? static_cast<int>(*dst) : -1,
+                  detail ? *detail / 1e9 : 0.0);
+  } else if (ev == "noise_burst") {
+    std::snprintf(buf, sizeof(buf), "noise burst for %.3f s",
+                  detail ? *detail / 1e9 : 0.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "traffic surge for %.3f s",
+                  detail ? *detail / 1e9 : 0.0);
+  }
+  e.what = buf;
+  return e;
+}
+
+std::string writeDemoTrace(bool withFaults) {
   const std::string path = "/tmp/trace_inspector_demo.jsonl";
   scenario::ScenarioConfig cfg;
   cfg.numNodes = 20;
@@ -37,8 +82,17 @@ std::string writeDemoTrace() {
   cfg.mobilitySeed = 3;
   cfg.telemetry = telemetry::TelemetryConfig{};
   cfg.telemetry.traceJsonlPath = path;
-  std::printf("running demo scenario (%d nodes, %d flows, %.0f s)...\n",
-              cfg.numNodes, cfg.numFlows, cfg.duration.toSeconds());
+  if (withFaults) {
+    cfg.fault = {};
+    cfg.fault.churn.fraction = 0.15;
+    cfg.fault.churn.meanUpTimeSec = 15.0;
+    cfg.fault.churn.meanDownTimeSec = 4.0;
+    cfg.fault.noise.meanGapSec = 20.0;
+    cfg.fault.noise.meanDurationSec = 0.5;
+  }
+  std::printf("running demo scenario (%d nodes, %d flows, %.0f s%s)...\n",
+              cfg.numNodes, cfg.numFlows, cfg.duration.toSeconds(),
+              withFaults ? ", with fault injection" : "");
   scenario::runScenario(cfg);
   return path;
 }
@@ -48,11 +102,14 @@ std::string writeDemoTrace() {
 int main(int argc, char** argv) {
   std::string path;
   if (argc == 2 && std::string(argv[1]) == "--demo") {
-    path = writeDemoTrace();
+    path = writeDemoTrace(false);
+  } else if (argc == 2 && std::string(argv[1]) == "--demo-faults") {
+    path = writeDemoTrace(true);
   } else if (argc == 2) {
     path = argv[1];
   } else {
-    std::fprintf(stderr, "usage: %s <trace.jsonl> | --demo\n", argv[0]);
+    std::fprintf(stderr, "usage: %s <trace.jsonl> | --demo | --demo-faults\n",
+                 argv[0]);
     return 2;
   }
 
@@ -65,6 +122,7 @@ int main(int argc, char** argv) {
   std::map<std::string, std::uint64_t> eventTotals;
   std::map<std::string, std::uint64_t> dropTotals;
   std::map<std::uint32_t, FlowStats> flows;
+  std::vector<FaultEntry> faults;
   double firstT = 0.0, lastT = 0.0;
   bool any = false;
 
@@ -72,10 +130,14 @@ int main(int argc, char** argv) {
     const auto ev = telemetry::jsonStringField(line, "ev");
     if (!ev) continue;
     ++eventTotals[*ev];
-    if (const auto t = telemetry::jsonNumberField(line, "t")) {
+    const auto t = telemetry::jsonNumberField(line, "t");
+    if (t) {
       if (!any) firstT = *t;
       lastT = *t;
       any = true;
+    }
+    if (isFaultEvent(*ev)) {
+      faults.push_back(decodeFault(*ev, line, t ? *t : 0.0));
     }
     const auto flow = telemetry::jsonNumberField(line, "flow");
     if (*ev == "pkt_originate" && flow) {
@@ -103,6 +165,16 @@ int main(int argc, char** argv) {
   for (const auto& [why, n] : dropTotals)
     std::printf("  %-22s %10llu\n", why.c_str(),
                 static_cast<unsigned long long>(n));
+
+  if (!faults.empty()) {
+    std::printf("\nfault timeline (%zu events):\n", faults.size());
+    // Show at most the first 40 entries; long churn runs get noisy.
+    const std::size_t shown = std::min<std::size_t>(faults.size(), 40);
+    for (std::size_t i = 0; i < shown; ++i)
+      std::printf("  t=%9.3f s  %s\n", faults[i].t, faults[i].what.c_str());
+    if (shown < faults.size())
+      std::printf("  ... %zu more\n", faults.size() - shown);
+  }
 
   std::printf("\nper-flow lifecycle (flow: originated -> delivered, drops by"
               " reason):\n");

@@ -68,6 +68,12 @@ DsrAgent::DsrAgent(net::NodeId self, mac::DcfMac& mac, sim::Scheduler& sched,
   sched_.scheduleAfter(sim::Time::seconds(1), [this] { periodicBufferSweep(); });
 }
 
+void DsrAgent::wipeCaches() {
+  cache_->clear();
+  neg_.clear();
+  forwardedLinks_.clear();
+}
+
 sim::Time DsrAgent::currentExpiryTimeout() const {
   switch (cfg_.expiry) {
     case ExpiryMode::kNone:

@@ -76,6 +76,14 @@ class DsrAgent final : public net::RoutingAgent {
   /// exclusion). Useful for static deployments, tests and examples.
   void seedRoute(std::span<const net::NodeId> hops) { cacheRoute(hops); }
 
+  /// Drop all cached route state — route cache, negative cache and the
+  /// forwarded-links memory used by wider error notification. Called by the
+  /// fault injector when a crashed node recovers (a reboot loses soft
+  /// state); pending discoveries and buffered packets survive, as a real
+  /// send buffer in kernel memory would not, but re-buffering them would
+  /// double-count originations.
+  void wipeCaches();
+
   // --- introspection (tests, examples, benches) ---
   const RouteCacheBase& routeCache() const { return *cache_; }
   NegativeCache& negativeCache() { return neg_; }

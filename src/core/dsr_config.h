@@ -90,4 +90,9 @@ const char* toString(Variant v);
 DsrConfig makeVariantConfig(Variant v,
                             sim::Time staticTimeout = sim::Time::seconds(10));
 
+/// Fail-fast range checks: throws std::invalid_argument with an actionable
+/// message on the first out-of-range knob (a zero-capacity cache or a
+/// negative timeout would otherwise misbehave silently mid-run).
+void validate(const DsrConfig& cfg);
+
 }  // namespace manet::core

@@ -32,11 +32,24 @@ class NegativeCache {
   /// True if the link is negatively cached and not yet expired.
   bool contains(net::LinkId link, sim::Time now);
 
+  /// Read-only variant of contains(): no expiry sweep, no trace records.
+  /// Used by the invariant checker so observing does not perturb state.
+  bool peek(net::LinkId link, sim::Time now) const {
+    const auto it = expiry_.find(link);
+    return it != expiry_.end() && it->second > now;
+  }
+
   /// Positive evidence that the link works (e.g. we just heard the
   /// neighbor transmit): lift the quarantine early. Congestion can make
   /// the MAC report breaks for links that are physically fine; without
   /// this, such false positives block the only good route for a full Nt.
   void erase(net::LinkId link);
+
+  /// Drop everything (node crash recovery wipes soft state).
+  void clear() {
+    expiry_.clear();
+    fifo_.clear();
+  }
 
   std::size_t size(sim::Time now);
   std::size_t capacity() const { return capacity_; }

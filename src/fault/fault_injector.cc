@@ -1,0 +1,222 @@
+#include "src/fault/fault_injector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/net/network.h"
+#include "src/traffic/cbr.h"
+
+namespace manet::fault {
+
+FaultInjector::FaultInjector(net::Network& network, FaultPlan plan,
+                             sim::Time horizon)
+    : net_(network),
+      plan_(std::move(plan)),
+      horizon_(horizon),
+      rng_(network.rng().stream("fault", plan_.seed)),
+      noiseRng_(network.rng().stream("fault-noise", plan_.seed)),
+      down_(network.size(), false) {
+  scheduleScripted();
+  if (plan_.churn.fraction > 0.0) startChurn();
+  if (plan_.blackout.meanGapSec > 0.0) {
+    armBlackoutGenerator(expDuration(plan_.blackout.meanGapSec));
+  }
+  if (plan_.noise.meanGapSec > 0.0) {
+    armNoiseGenerator(expDuration(plan_.noise.meanGapSec));
+  }
+  if (plan_.surge.meanGapSec > 0.0) {
+    armSurgeGenerator(expDuration(plan_.surge.meanGapSec));
+  }
+}
+
+sim::Scheduler& FaultInjector::sched() { return net_.scheduler(); }
+
+sim::Time FaultInjector::expDuration(double meanSec) {
+  return std::max(sim::Time::fromSeconds(rng_.exponential(meanSec)),
+                  sim::Time::millis(1));
+}
+
+// ------------------------------------------------------------- scripted
+
+void FaultInjector::scheduleScripted() {
+  for (const FaultEvent& ev : plan_.scripted) {
+    sched().scheduleAt(ev.at, [this, ev] {
+      switch (ev.kind) {
+        case FaultKind::kNodeCrash:
+          crash(ev.node);
+          break;
+        case FaultKind::kNodeRecover:
+          recover(ev.node, plan_.churn.wipeCachesOnRecovery);
+          break;
+        case FaultKind::kLinkBlackout:
+          beginBlackout(ev.node, ev.peer, ev.duration, ev.bothDirections);
+          break;
+        case FaultKind::kNoiseBurst:
+          beginNoise(ev.duration, ev.value);
+          break;
+        case FaultKind::kTrafficSurge:
+          beginSurge(ev.duration, ev.value);
+          break;
+      }
+    });
+  }
+}
+
+// ---------------------------------------------------------------- churn
+
+void FaultInjector::startChurn() {
+  const auto n = static_cast<std::size_t>(net_.size());
+  auto count = static_cast<std::size_t>(
+      std::lround(plan_.churn.fraction * static_cast<double>(n)));
+  count = std::clamp<std::size_t>(count, 1, n);
+  // Partial Fisher-Yates: pick `count` distinct churn nodes.
+  std::vector<net::NodeId> ids(n);
+  std::iota(ids.begin(), ids.end(), net::NodeId{0});
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto j = static_cast<std::size_t>(rng_.uniformInt(
+        static_cast<std::int64_t>(i), static_cast<std::int64_t>(n - 1)));
+    std::swap(ids[i], ids[j]);
+    const net::NodeId id = ids[i];
+    sched().scheduleAt(expDuration(plan_.churn.meanUpTimeSec),
+                       [this, id] { churnCrash(id); });
+  }
+}
+
+void FaultInjector::churnCrash(net::NodeId id) {
+  crash(id);
+  const sim::Time at =
+      sched().now() + expDuration(plan_.churn.meanDownTimeSec);
+  if (at < horizon_) sched().scheduleAt(at, [this, id] { churnRecover(id); });
+}
+
+void FaultInjector::churnRecover(net::NodeId id) {
+  recover(id, plan_.churn.wipeCachesOnRecovery);
+  const sim::Time at = sched().now() + expDuration(plan_.churn.meanUpTimeSec);
+  if (at < horizon_) sched().scheduleAt(at, [this, id] { churnCrash(id); });
+}
+
+// ----------------------------------------------------------- generators
+
+void FaultInjector::armBlackoutGenerator(sim::Time at) {
+  if (at >= horizon_) return;
+  sched().scheduleAt(at, [this] {
+    const auto n = static_cast<std::int64_t>(net_.size());
+    const auto from = static_cast<net::NodeId>(rng_.uniformInt(0, n - 1));
+    net::NodeId to;
+    do {
+      to = static_cast<net::NodeId>(rng_.uniformInt(0, n - 1));
+    } while (to == from);
+    const sim::Time dur = expDuration(plan_.blackout.meanDurationSec);
+    beginBlackout(from, to, dur, !plan_.blackout.unidirectional);
+    // Next window opens after this one closes (windows never overlap).
+    armBlackoutGenerator(sched().now() + dur +
+                         expDuration(plan_.blackout.meanGapSec));
+  });
+}
+
+void FaultInjector::armNoiseGenerator(sim::Time at) {
+  if (at >= horizon_) return;
+  sched().scheduleAt(at, [this] {
+    const sim::Time dur = expDuration(plan_.noise.meanDurationSec);
+    beginNoise(dur, plan_.noise.corruptProb);
+    armNoiseGenerator(sched().now() + dur +
+                      expDuration(plan_.noise.meanGapSec));
+  });
+}
+
+void FaultInjector::armSurgeGenerator(sim::Time at) {
+  if (at >= horizon_) return;
+  sched().scheduleAt(at, [this] {
+    const sim::Time dur = expDuration(plan_.surge.meanDurationSec);
+    beginSurge(dur, plan_.surge.rateMultiplier);
+    armSurgeGenerator(sched().now() + dur +
+                      expDuration(plan_.surge.meanGapSec));
+  });
+}
+
+// -------------------------------------------------------------- actions
+
+void FaultInjector::crash(net::NodeId id) {
+  if (down_.at(id)) return;  // scripted/churn overlap: already down
+  down_[id] = true;
+  net::Node& node = net_.node(id);
+  node.radio().setUp(false);
+  node.macLayer().flushQueue();
+  ++net_.metrics().faultNodeCrashes;
+  traceFault(telemetry::TraceEvent::kNodeCrash, id, 0, 0, 0);
+}
+
+void FaultInjector::recover(net::NodeId id, bool wipeCaches) {
+  if (!down_.at(id)) return;
+  down_[id] = false;
+  net::Node& node = net_.node(id);
+  node.radio().setUp(true);
+  const bool wiped = wipeCaches && node.protocol() == net::Protocol::kDsr;
+  if (wiped) node.dsr().wipeCaches();
+  ++net_.metrics().faultNodeRecoveries;
+  traceFault(telemetry::TraceEvent::kNodeRecover, id, 0, 0, wiped ? 1 : 0);
+}
+
+void FaultInjector::beginBlackout(net::NodeId from, net::NodeId to,
+                                  sim::Time duration, bool bothDirections) {
+  const sim::Time now = sched().now();
+  net_.channel().addLinkBlackout(from, to, now, now + duration);
+  if (bothDirections) {
+    net_.channel().addLinkBlackout(to, from, now, now + duration);
+  }
+  ++net_.metrics().faultLinkBlackouts;
+  traceFault(telemetry::TraceEvent::kLinkBlackout, from, from, to,
+             duration.ns());
+}
+
+void FaultInjector::beginNoise(sim::Time duration, double corruptProb) {
+  if (noiseActive_) return;  // overlapping scripted bursts: keep the first
+  noiseActive_ = true;
+  for (std::size_t i = 0; i < net_.size(); ++i) {
+    net_.node(static_cast<net::NodeId>(i))
+        .radio()
+        .setNoise(corruptProb, &noiseRng_);
+  }
+  ++net_.metrics().faultNoiseBursts;
+  traceFault(telemetry::TraceEvent::kNoiseBurst, 0, 0, 0, duration.ns());
+  sched().scheduleAfter(duration, [this] { endNoise(); });
+}
+
+void FaultInjector::endNoise() {
+  for (std::size_t i = 0; i < net_.size(); ++i) {
+    net_.node(static_cast<net::NodeId>(i)).radio().setNoise(0.0, nullptr);
+  }
+  noiseActive_ = false;
+}
+
+void FaultInjector::beginSurge(sim::Time duration, double multiplier) {
+  if (surgeActive_) return;
+  surgeActive_ = true;
+  for (traffic::CbrSource* s : sources_) s->setRateMultiplier(multiplier);
+  ++net_.metrics().faultTrafficSurges;
+  traceFault(telemetry::TraceEvent::kTrafficSurge, 0, 0, 0, duration.ns());
+  sched().scheduleAfter(duration, [this] { endSurge(); });
+}
+
+void FaultInjector::endSurge() {
+  for (traffic::CbrSource* s : sources_) s->setRateMultiplier(1.0);
+  surgeActive_ = false;
+}
+
+void FaultInjector::traceFault(telemetry::TraceEvent event, net::NodeId node,
+                               net::NodeId src, net::NodeId dst,
+                               std::int64_t detail) {
+  telemetry::Tracer& tracer = net_.tracer();
+  if (!tracer.enabled()) return;
+  telemetry::TraceRecord r;
+  r.at = sched().now();
+  r.event = event;
+  r.node = node;
+  r.src = src;
+  r.dst = dst;
+  r.detail = detail;
+  tracer.emit(r);
+}
+
+}  // namespace manet::fault

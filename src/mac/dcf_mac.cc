@@ -72,6 +72,20 @@ std::vector<QueuedPacket> DcfMac::purgeNextHop(net::NodeId nextHop) {
   return removed;
 }
 
+void DcfMac::flushQueue() {
+  const std::size_t keepHead = state_ == State::kIdle ? 0 : 1;
+  while (queue_.size() > keepHead) {
+    const QueuedPacket qp = std::move(queue_.back());
+    queue_.pop_back();
+    if (metrics_) ++metrics_->dropNodeDown;
+    if (tracer_ && tracer_->enabled() && qp.packet) {
+      tracer_->emit(telemetry::packetRecord(
+          telemetry::TraceEvent::kPktDrop, sched_.now(), id_, *qp.packet,
+          telemetry::DropReason::kNodeDown));
+    }
+  }
+}
+
 void DcfMac::startAccessIfIdle() {
   if (state_ != State::kIdle || queue_.empty()) return;
   beginContention();

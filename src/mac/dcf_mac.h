@@ -84,6 +84,12 @@ class DcfMac {
   /// link is known broken) and return them for salvaging.
   std::vector<QueuedPacket> purgeNextHop(net::NodeId nextHop);
 
+  /// Drop the whole queue (fault injection: the node crashed). Every
+  /// flushed packet is counted and traced as a `node_down` drop. The
+  /// in-flight head of an ongoing exchange is kept; its failure surfaces
+  /// through the normal timeout/retry path.
+  void flushQueue();
+
   std::size_t queueLength() const { return queue_.size(); }
   net::NodeId id() const { return id_; }
 

@@ -14,6 +14,7 @@ void Metrics::add(const Metrics& o) {
   dropNegativeCache += o.dropNegativeCache;
   dropTtlExpired += o.dropTtlExpired;
   dropMacDuplicate += o.dropMacDuplicate;
+  dropNodeDown += o.dropNodeDown;
   rreqTx += o.rreqTx;
   rrepTx += o.rrepTx;
   rerrTx += o.rerrTx;
@@ -41,6 +42,11 @@ void Metrics::add(const Metrics& o) {
   expiredLinks += o.expiredLinks;
   rerrWideRebroadcasts += o.rerrWideRebroadcasts;
   negCacheInsertions += o.negCacheInsertions;
+  faultNodeCrashes += o.faultNodeCrashes;
+  faultNodeRecoveries += o.faultNodeRecoveries;
+  faultLinkBlackouts += o.faultLinkBlackouts;
+  faultNoiseBursts += o.faultNoiseBursts;
+  faultTrafficSurges += o.faultTrafficSurges;
 }
 
 }  // namespace manet::metrics

@@ -33,6 +33,7 @@ struct Metrics {
   std::uint64_t dropNegativeCache = 0;  // dropped by the negative cache rule
   std::uint64_t dropTtlExpired = 0;
   std::uint64_t dropMacDuplicate = 0;
+  std::uint64_t dropNodeDown = 0;  // flushed from MAC queue at node crash
 
   // ---- hop-wise overhead transmissions ----
   std::uint64_t rreqTx = 0;
@@ -71,13 +72,20 @@ struct Metrics {
   std::uint64_t rerrWideRebroadcasts = 0;
   std::uint64_t negCacheInsertions = 0;
 
+  // ---- injected faults (src/fault/; all zero without a FaultPlan) ----
+  std::uint64_t faultNodeCrashes = 0;
+  std::uint64_t faultNodeRecoveries = 0;
+  std::uint64_t faultLinkBlackouts = 0;
+  std::uint64_t faultNoiseBursts = 0;
+  std::uint64_t faultTrafficSurges = 0;
+
   // ---- derived metrics (paper's plots) ----
   /// Sum of every drop counter (one packet may be counted at most once:
   /// each drop site increments exactly one reason).
   std::uint64_t totalDropped() const {
     return dropSendBufferTimeout + dropSendBufferOverflow + dropIfqFull +
            dropLinkFailNoSalvage + dropNegativeCache + dropTtlExpired +
-           dropMacDuplicate;
+           dropMacDuplicate + dropNodeDown;
   }
   double packetDeliveryFraction() const {
     return dataOriginated == 0

@@ -1,5 +1,7 @@
 #include "src/net/network.h"
 
+#include "src/fault/fault_injector.h"
+
 namespace manet::net {
 
 Network::Network(const NetworkConfig& cfg, std::uint64_t seed)
@@ -9,6 +11,14 @@ Network::Network(const NetworkConfig& cfg, std::uint64_t seed)
       oracle_([this](NodeId id, sim::Time t) { return positionOf(id, t); },
               cfg.phy.rangeMeters) {
   tracer_.bindClock(&sched_);
+}
+
+Network::~Network() = default;
+
+void Network::installFaults(const fault::FaultPlan& plan, sim::Time horizon) {
+  if (plan.empty()) return;
+  plan.validate(static_cast<int>(nodes_.size()), horizon);
+  faults_ = std::make_unique<fault::FaultInjector>(*this, plan, horizon);
 }
 
 Node& Network::addNode(std::unique_ptr<mobility::MobilityModel> mobility) {

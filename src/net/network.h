@@ -14,6 +14,11 @@
 #include "src/sim/scheduler.h"
 #include "src/telemetry/trace.h"
 
+namespace manet::fault {
+struct FaultPlan;
+class FaultInjector;
+}  // namespace manet::fault
+
 namespace manet::net {
 
 struct NetworkConfig {
@@ -27,6 +32,7 @@ struct NetworkConfig {
 class Network {
  public:
   Network(const NetworkConfig& cfg, std::uint64_t seed);
+  ~Network();
 
   /// Add a node with the given trajectory; ids are assigned sequentially
   /// from 0. All nodes must be added before the simulation runs.
@@ -45,6 +51,13 @@ class Network {
   /// full run. With no sinks attached, tracing costs one branch per hook.
   telemetry::Tracer& tracer() { return tracer_; }
 
+  /// Install a fault plan (validated fail-fast against the current node
+  /// count). Call after all nodes are added and before the run starts. An
+  /// empty plan installs nothing — the fault layer is then a strict no-op.
+  void installFaults(const fault::FaultPlan& plan, sim::Time horizon);
+  /// The installed injector, or nullptr when no (non-empty) plan was given.
+  fault::FaultInjector* faults() { return faults_.get(); }
+
   Vec2 positionOf(NodeId id, sim::Time t) const {
     return nodes_.at(id)->mobility().positionAt(t);
   }
@@ -60,6 +73,7 @@ class Network {
   metrics::LinkOracle oracle_;
   telemetry::Tracer tracer_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  std::unique_ptr<fault::FaultInjector> faults_;
 };
 
 }  // namespace manet::net

@@ -23,6 +23,9 @@ sim::Time Channel::transmit(Radio& sender, const mac::Frame& f) {
     // 20 m/s).
     const double d = distance(pos, r->position());
     if (d > cfg_.rangeMeters) continue;
+    if (!blackouts_.empty() && linkBlocked(sender.id(), r->id(), now)) {
+      continue;
+    }
     sched_.scheduleAt(now + cfg_.propagationDelay,
                       [r, txId, d] { r->rxStart(txId, d); });
     // Copy the frame into the end event: the sender's copy may be reused.
@@ -34,25 +37,50 @@ sim::Time Channel::transmit(Radio& sender, const mac::Frame& f) {
 
 bool Channel::carrierBusy(const Radio& r) const {
   prune();
+  const sim::Time now = sched_.now();
   const Vec2 pos = r.position();
   for (const ActiveTx& tx : active_) {
     if (tx.sender == &r) return true;  // transmitting ourselves
-    if (distance(tx.senderPos, pos) <= cfg_.rangeMeters) return true;
+    if (distance(tx.senderPos, pos) > cfg_.rangeMeters) continue;
+    // A blacked-out link is inaudible to carrier sense too — jamming blinds
+    // the receiver, it does not politely defer it.
+    if (!blackouts_.empty() && linkBlocked(tx.sender->id(), r.id(), now)) {
+      continue;
+    }
+    return true;
   }
   return false;
 }
 
 sim::Time Channel::busyUntil(const Radio& r) const {
   prune();
-  sim::Time latest = sched_.now();
+  const sim::Time now = sched_.now();
+  sim::Time latest = now;
   const Vec2 pos = r.position();
   for (const ActiveTx& tx : active_) {
-    if (tx.sender != &r && distance(tx.senderPos, pos) > cfg_.rangeMeters) {
-      continue;
+    if (tx.sender != &r) {
+      if (distance(tx.senderPos, pos) > cfg_.rangeMeters) continue;
+      if (!blackouts_.empty() && linkBlocked(tx.sender->id(), r.id(), now)) {
+        continue;
+      }
     }
     latest = std::max(latest, tx.end);
   }
   return latest;
+}
+
+void Channel::addLinkBlackout(net::NodeId from, net::NodeId to,
+                              sim::Time start, sim::Time end) {
+  blackouts_.push_back(Blackout{from, to, start, end});
+}
+
+bool Channel::linkBlocked(net::NodeId from, net::NodeId to,
+                          sim::Time t) const {
+  std::erase_if(blackouts_, [t](const Blackout& b) { return b.end <= t; });
+  for (const Blackout& b : blackouts_) {
+    if (b.from == from && b.to == to && b.start <= t) return true;
+  }
+  return false;
 }
 
 void Channel::prune() const {

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/mac/frame.h"
+#include "src/net/packet.h"
 #include "src/sim/scheduler.h"
 #include "src/util/vec2.h"
 
@@ -65,10 +66,28 @@ class Channel {
   const PhyConfig& config() const { return cfg_; }
   sim::Scheduler& scheduler() { return sched_; }
 
+  // --- fault injection (src/fault/) ---
+  /// Block the directed link from->to during [start, end): the receiver
+  /// neither receives frames from, nor carrier-senses, that transmitter.
+  /// Registering only one direction models an asymmetric link. Expired
+  /// windows are pruned lazily; with none registered the cost is one
+  /// empty-vector check per receiver.
+  void addLinkBlackout(net::NodeId from, net::NodeId to, sim::Time start,
+                       sim::Time end);
+  /// True if from->to is inside an active blackout window at `t`.
+  bool linkBlocked(net::NodeId from, net::NodeId to, sim::Time t) const;
+
  private:
   struct ActiveTx {
     const Radio* sender;
     Vec2 senderPos;
+    sim::Time end;
+  };
+
+  struct Blackout {
+    net::NodeId from;
+    net::NodeId to;
+    sim::Time start;
     sim::Time end;
   };
 
@@ -78,6 +97,7 @@ class Channel {
   PhyConfig cfg_;
   std::vector<Radio*> radios_;
   mutable std::vector<ActiveTx> active_;
+  mutable std::vector<Blackout> blackouts_;
   std::uint64_t nextTxId_ = 1;
 };
 

@@ -16,10 +16,25 @@ Radio::Radio(net::NodeId id, const mobility::MobilityModel& mobility,
 Vec2 Radio::position() const { return mobility_.positionAt(sched_.now()); }
 
 sim::Time Radio::startTx(const mac::Frame& f) {
+  // Crashed radio: nothing reaches the air. Burn the airtime anyway so the
+  // MAC's state machine proceeds into its CTS/ACK timeout paths — that is
+  // how neighbors' and our own routing layers learn the "link" is dead.
+  if (!up_) {
+    txEnd_ = sched_.now() + channel_.txDuration(f.bytes());
+    return txEnd_;
+  }
   // Half duplex: anything we were receiving is lost.
   for (OngoingRx& rx : ongoing_) rx.corrupt = true;
   txEnd_ = channel_.transmit(*this, f);
   return txEnd_;
+}
+
+void Radio::setUp(bool up) {
+  if (up_ == up) return;
+  up_ = up;
+  // Going down kills in-flight receptions; their rxEnd events find no entry
+  // and are ignored (also covers receptions spanning the recovery instant).
+  if (!up_) ongoing_.clear();
 }
 
 bool Radio::transmitting() const { return sched_.now() < txEnd_; }
@@ -33,6 +48,7 @@ sim::Time Radio::airtime(std::uint32_t bytes) const {
 }
 
 void Radio::rxStart(std::uint64_t txId, double senderDistance) {
+  if (!up_) return;  // crashed: deaf
   // Receiving while transmitting always fails (half duplex).
   if (transmitting()) {
     ongoing_.push_back(OngoingRx{txId, true, senderDistance});
@@ -71,6 +87,14 @@ void Radio::rxEnd(std::uint64_t txId, const mac::Frame& f) {
   ongoing_.erase(it);
   if (corrupt) {
     ++framesCorrupted_;
+    return;
+  }
+  // Injected channel noise (fault layer): an otherwise-intact frame is lost
+  // with noiseProb_. Zero probability (the default) draws nothing, keeping
+  // no-fault runs bit-identical.
+  if (noiseProb_ > 0.0 && noiseRng_ != nullptr &&
+      noiseRng_->bernoulli(noiseProb_)) {
+    ++framesNoiseCorrupted_;
     return;
   }
   ++framesDelivered_;

@@ -1,14 +1,59 @@
 #include "src/scenario/scenario.h"
 
 #include <chrono>
+#include <stdexcept>
+#include <string>
 
+#include "src/fault/fault_injector.h"
 #include "src/mobility/waypoint.h"
 #include "src/sim/rng.h"
 #include "src/util/logging.h"
 
 namespace manet::scenario {
 
+void ScenarioConfig::validate() const {
+  const auto fail = [](const std::string& what) {
+    throw std::invalid_argument("scenario config: " + what);
+  };
+  if (numNodes <= 0) {
+    fail("numNodes must be > 0, got " + std::to_string(numNodes));
+  }
+  if (field.x <= 0.0 || field.y <= 0.0) {
+    fail("field dimensions must be > 0, got " + std::to_string(field.x) +
+         " x " + std::to_string(field.y));
+  }
+  if (minSpeed < 0.0) {
+    fail("minSpeed must be >= 0, got " + std::to_string(minSpeed));
+  }
+  if (maxSpeed <= 0.0 || maxSpeed < minSpeed) {
+    fail("maxSpeed must be > 0 and >= minSpeed, got minSpeed=" +
+         std::to_string(minSpeed) + " maxSpeed=" + std::to_string(maxSpeed));
+  }
+  if (numFlows < 0) {
+    fail("numFlows must be >= 0, got " + std::to_string(numFlows));
+  }
+  const long long orderablePairs =
+      static_cast<long long>(numNodes) * (numNodes - 1);
+  if (numFlows > orderablePairs) {
+    fail("numFlows (" + std::to_string(numFlows) + ") exceeds the " +
+         std::to_string(orderablePairs) + " orderable src/dst pairs of " +
+         std::to_string(numNodes) + " nodes");
+  }
+  if (numFlows > 0 && packetsPerSecond <= 0.0) {
+    fail("packetsPerSecond must be > 0, got " +
+         std::to_string(packetsPerSecond));
+  }
+  if (numFlows > 0 && payloadBytes == 0) fail("payloadBytes must be > 0");
+  if (duration <= sim::Time::zero()) fail("duration must be > 0");
+  if (flowStartWindow <= sim::Time::zero()) {
+    fail("flowStartWindow must be > 0");
+  }
+  core::validate(dsr);
+  fault.validate(numNodes, duration);
+}
+
 Scenario::Scenario(const ScenarioConfig& cfg) : cfg_(cfg) {
+  cfg_.validate();
   net::NetworkConfig netCfg{cfg.phy, cfg.mac, cfg.protocol, cfg.dsr,
                             cfg.aodv};
   // Seed the network (MAC jitter, DSR jitter) from the mobility seed so a
@@ -34,6 +79,11 @@ Scenario::Scenario(const ScenarioConfig& cfg) : cfg_(cfg) {
   }
   if (tel.logLevel != util::LogLevel::kNone) {
     util::setLogLevel(tel.logLevel);
+  }
+  if (cfg_.invariantChecks || fault::InvariantChecker::enabledFromEnv()) {
+    checker_ = std::make_unique<fault::InvariantChecker>(
+        static_cast<std::size_t>(cfg_.numNodes));
+    network_->tracer().addSink(checker_.get());
   }
   if (tel.captureLogs && network_->tracer().enabled()) {
     network_->tracer().setLogCaptureLevel(tel.logLevel);
@@ -80,6 +130,22 @@ Scenario::Scenario(const ScenarioConfig& cfg) : cfg_(cfg) {
     sources_.push_back(std::make_unique<traffic::CbrSource>(
         network_->node(src).routing(), network_->scheduler(), p));
   }
+
+  // Faults go in after nodes and sources exist; an empty plan installs
+  // nothing and the run stays bit-identical to a fault-free build.
+  network_->installFaults(cfg_.fault, cfg_.duration);
+  if (fault::FaultInjector* fi = network_->faults()) {
+    for (const auto& s : sources_) fi->attachTrafficSource(s.get());
+  }
+  if (checker_) scheduleCacheConsistencySweep(sim::Time::seconds(1));
+}
+
+void Scenario::scheduleCacheConsistencySweep(sim::Time at) {
+  if (at >= cfg_.duration) return;
+  network_->scheduler().scheduleAt(at, [this, at] {
+    fault::checkCacheConsistency(*network_, *checker_);
+    scheduleCacheConsistencySweep(at + sim::Time::seconds(1));
+  });
 }
 
 Scenario::~Scenario() {
@@ -97,6 +163,15 @@ RunResult Scenario::run() {
   r.eventsExecuted = network_->scheduler().executedCount();
   r.wallSeconds = std::chrono::duration<double>(wallEnd - wallStart).count();
   if (sampler_) r.series = sampler_->takeSeries();
+  if (checker_) {
+    checker_->finalCheck(r.metrics);
+    if (!checker_->violations().empty()) {
+      std::string msg = "invariant violations (" +
+                        std::to_string(checker_->violations().size()) + "):";
+      for (const auto& v : checker_->violations()) msg += "\n  " + v;
+      throw std::runtime_error(msg);
+    }
+  }
   return r;
 }
 

@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "src/core/dsr_config.h"
+#include "src/fault/fault_plan.h"
+#include "src/fault/invariant_checker.h"
 #include "src/mac/dcf_mac.h"
 #include "src/metrics/metrics.h"
 #include "src/net/network.h"
@@ -49,6 +51,20 @@ struct ScenarioConfig {
   /// environment overrides so every bench binary is switchable without
   /// recompiling (see src/telemetry/telemetry_config.h).
   telemetry::TelemetryConfig telemetry = telemetry::TelemetryConfig::fromEnv();
+
+  /// Injected adversities (node churn, blackouts, noise, surges); the
+  /// default picks up MANET_FAULT_* environment overrides and is otherwise
+  /// empty — an empty plan is a strict no-op (bit-identical runs).
+  fault::FaultPlan fault = fault::FaultPlan::fromEnv();
+
+  /// Install the InvariantChecker for this run (also switchable globally
+  /// with MANET_CHECK=1). Violations make Scenario::run() throw.
+  bool invariantChecks = false;
+
+  /// Fail-fast sanity checks over every knob above (and the nested dsr /
+  /// fault configs). Throws std::invalid_argument; called by Scenario's
+  /// constructor so a bad config can never start a run.
+  void validate() const;
 };
 
 struct RunResult {
@@ -78,6 +94,9 @@ class Scenario {
   /// The in-memory ring sink, if cfg.telemetry.ringCapacity > 0.
   const telemetry::RingBufferSink* ring() const { return ring_.get(); }
 
+  /// The invariant checker, if installed for this run.
+  const fault::InvariantChecker* checker() const { return checker_.get(); }
+
   ~Scenario();
 
  private:
@@ -89,7 +108,10 @@ class Scenario {
   std::unique_ptr<telemetry::RingBufferSink> ring_;
   std::unique_ptr<telemetry::JsonlFileSink> jsonl_;
   std::unique_ptr<telemetry::Sampler> sampler_;
+  std::unique_ptr<fault::InvariantChecker> checker_;
   bool logSinkInstalled_ = false;
+
+  void scheduleCacheConsistencySweep(sim::Time at);
 };
 
 /// Convenience: build and run in one call.

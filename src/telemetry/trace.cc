@@ -34,6 +34,16 @@ const char* toString(TraceEvent e) {
       return "link_break";
     case TraceEvent::kLog:
       return "log";
+    case TraceEvent::kNodeCrash:
+      return "node_crash";
+    case TraceEvent::kNodeRecover:
+      return "node_recover";
+    case TraceEvent::kLinkBlackout:
+      return "link_blackout";
+    case TraceEvent::kNoiseBurst:
+      return "noise_burst";
+    case TraceEvent::kTrafficSurge:
+      return "traffic_surge";
   }
   return "unknown";
 }
@@ -56,6 +66,8 @@ const char* toString(DropReason r) {
       return "ttl_expired";
     case DropReason::kMacDuplicate:
       return "mac_duplicate";
+    case DropReason::kNodeDown:
+      return "node_down";
   }
   return "unknown";
 }

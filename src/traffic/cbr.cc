@@ -16,7 +16,12 @@ void CbrSource::tick() {
   if (sched_.now() > params_.stop) return;
   agent_.sendData(params_.dst, params_.payloadBytes, params_.flowId, sent_);
   ++sent_;
-  sched_.scheduleAfter(interval_, [this] { tick(); });
+  const sim::Time next =
+      rateMultiplier_ == 1.0
+          ? interval_
+          : sim::Time::fromSeconds(
+                1.0 / (params_.packetsPerSecond * rateMultiplier_));
+  sched_.scheduleAfter(next, [this] { tick(); });
 }
 
 }  // namespace manet::traffic

@@ -57,6 +57,46 @@ TEST(NegativeCacheTest, RefreshMovesToBackOfFifo) {
   EXPECT_FALSE(nc.contains(LinkId{0, 2}, Time::seconds(3)));
 }
 
+TEST(NegativeCacheTest, FillToExactCapacityEvictsNothing) {
+  NegativeCache nc(3, Time::seconds(100));
+  nc.insert(LinkId{0, 1}, Time::zero());
+  nc.insert(LinkId{0, 2}, Time::zero());
+  nc.insert(LinkId{0, 3}, Time::zero());  // exactly at capacity
+  EXPECT_EQ(nc.size(Time::seconds(1)), 3u);
+  EXPECT_TRUE(nc.contains(LinkId{0, 1}, Time::seconds(1)));
+  EXPECT_TRUE(nc.contains(LinkId{0, 2}, Time::seconds(1)));
+  EXPECT_TRUE(nc.contains(LinkId{0, 3}, Time::seconds(1)));
+  // The boundary crossing evicts exactly one entry, the oldest.
+  nc.insert(LinkId{0, 4}, Time::zero());
+  EXPECT_EQ(nc.size(Time::seconds(1)), 3u);
+  EXPECT_FALSE(nc.contains(LinkId{0, 1}, Time::seconds(1)));
+  EXPECT_TRUE(nc.contains(LinkId{0, 2}, Time::seconds(1)));
+}
+
+TEST(NegativeCacheTest, PeekIsNonPerturbing) {
+  NegativeCache nc(2, Time::seconds(10));
+  nc.insert(LinkId{0, 1}, Time::zero());
+  const NegativeCache& view = nc;
+  EXPECT_TRUE(view.peek(LinkId{0, 1}, Time::seconds(5)));
+  EXPECT_FALSE(view.peek(LinkId{0, 1}, Time::seconds(10)));  // expired
+  EXPECT_FALSE(view.peek(LinkId{0, 2}, Time::seconds(5)));
+  // Peeking past the TTL must not have swept the entry: a refresh before
+  // expiry still sees the original FIFO slot occupied.
+  EXPECT_TRUE(nc.contains(LinkId{0, 1}, Time::seconds(5)));
+}
+
+TEST(NegativeCacheTest, ClearDropsEverything) {
+  NegativeCache nc(4, Time::seconds(10));
+  nc.insert(LinkId{0, 1}, Time::zero());
+  nc.insert(LinkId{0, 2}, Time::zero());
+  nc.clear();
+  EXPECT_EQ(nc.size(Time::zero()), 0u);
+  EXPECT_FALSE(nc.contains(LinkId{0, 1}, Time::seconds(1)));
+  // Capacity is fully available again after the wipe.
+  nc.insert(LinkId{1, 2}, Time::seconds(1));
+  EXPECT_TRUE(nc.contains(LinkId{1, 2}, Time::seconds(2)));
+}
+
 TEST(NegativeCacheTest, SizeSweepsExpiredEntries) {
   NegativeCache nc(8, Time::seconds(10));
   nc.insert(LinkId{0, 1}, Time::zero());

@@ -30,6 +30,7 @@ scenario::ScenarioConfig congestedScenario() {
   cfg.duration = Time::seconds(60);
   cfg.mobilitySeed = 3;
   cfg.telemetry = telemetry::TelemetryConfig{};  // env-independent
+  cfg.fault = {};
   return cfg;
 }
 
@@ -96,6 +97,58 @@ TEST(TraceReconcileTest, JsonlDropCountsMatchMetricsExactly) {
   EXPECT_GT(m.totalDropped(), 0u);
   EXPECT_GT(m.dataDelivered, 0u);
   EXPECT_GT(c.forwarded, 0u);
+
+  std::remove(path.c_str());
+}
+
+TEST(TraceReconcileTest, FaultedRunReconcilesIncludingNodeDownDrops) {
+  const std::string path =
+      ::testing::TempDir() + "/reconcile_fault_trace.jsonl";
+  std::remove(path.c_str());
+
+  scenario::ScenarioConfig cfg = congestedScenario();
+  cfg.telemetry.traceJsonlPath = path;
+  cfg.fault.churn.fraction = 0.2;
+  cfg.fault.churn.meanUpTimeSec = 10.0;
+  cfg.fault.churn.meanDownTimeSec = 3.0;
+  cfg.fault.noise.meanGapSec = 15.0;
+  cfg.fault.noise.meanDurationSec = 0.5;
+  const scenario::RunResult r = scenario::runScenario(cfg);
+  const metrics::Metrics& m = r.metrics;
+
+  const auto lines = telemetry::readJsonlFile(path);
+  ASSERT_TRUE(lines.has_value());
+
+  std::map<std::string, std::uint64_t> dropsByReason;
+  std::uint64_t crashes = 0, recoveries = 0, bursts = 0;
+  for (const std::string& line : *lines) {
+    const auto ev = telemetry::jsonStringField(line, "ev");
+    ASSERT_TRUE(ev.has_value());
+    if (*ev == "pkt_drop") {
+      const auto reason = telemetry::jsonStringField(line, "reason");
+      ASSERT_TRUE(reason.has_value()) << line;
+      ++dropsByReason[*reason];
+    } else if (*ev == "node_crash") {
+      ++crashes;
+    } else if (*ev == "node_recover") {
+      ++recoveries;
+    } else if (*ev == "noise_burst") {
+      ++bursts;
+    }
+  }
+
+  // The new drop reason and fault events reconcile exactly with metrics.
+  EXPECT_EQ(dropsByReason["node_down"], m.dropNodeDown);
+  EXPECT_EQ(crashes, m.faultNodeCrashes);
+  EXPECT_EQ(recoveries, m.faultNodeRecoveries);
+  EXPECT_EQ(bursts, m.faultNoiseBursts);
+  std::uint64_t tracedDrops = 0;
+  for (const auto& [reason, n] : dropsByReason) tracedDrops += n;
+  EXPECT_EQ(tracedDrops, m.totalDropped());
+
+  // The churn profile must actually exercise the fault machinery.
+  EXPECT_GT(m.faultNodeCrashes, 0u);
+  EXPECT_GT(m.dataDelivered, 0u);
 
   std::remove(path.c_str());
 }

@@ -106,6 +106,12 @@ TEST(MetricsTest, AddSumsEveryField) {
     m.dropNegativeCache = v++;
     m.dropTtlExpired = v++;
     m.dropMacDuplicate = v++;
+    m.dropNodeDown = v++;
+    m.faultNodeCrashes = v++;
+    m.faultNodeRecoveries = v++;
+    m.faultLinkBlackouts = v++;
+    m.faultNoiseBursts = v++;
+    m.faultTrafficSurges = v++;
     m.delaySumSec = static_cast<double>(v++);
   };
   setAll(a);
@@ -153,6 +159,12 @@ TEST(MetricsTest, AddSumsEveryField) {
   EXPECT_EQ(a.dropNegativeCache, 2 * expectedDouble.dropNegativeCache);
   EXPECT_EQ(a.dropTtlExpired, 2 * expectedDouble.dropTtlExpired);
   EXPECT_EQ(a.dropMacDuplicate, 2 * expectedDouble.dropMacDuplicate);
+  EXPECT_EQ(a.dropNodeDown, 2 * expectedDouble.dropNodeDown);
+  EXPECT_EQ(a.faultNodeCrashes, 2 * expectedDouble.faultNodeCrashes);
+  EXPECT_EQ(a.faultNodeRecoveries, 2 * expectedDouble.faultNodeRecoveries);
+  EXPECT_EQ(a.faultLinkBlackouts, 2 * expectedDouble.faultLinkBlackouts);
+  EXPECT_EQ(a.faultNoiseBursts, 2 * expectedDouble.faultNoiseBursts);
+  EXPECT_EQ(a.faultTrafficSurges, 2 * expectedDouble.faultTrafficSurges);
   EXPECT_DOUBLE_EQ(a.delaySumSec, 2 * expectedDouble.delaySumSec);
 }
 
@@ -166,7 +178,8 @@ TEST(MetricsTest, TotalDroppedSumsAllDropReasons) {
   m.dropNegativeCache = 16;
   m.dropTtlExpired = 32;
   m.dropMacDuplicate = 64;
-  EXPECT_EQ(m.totalDropped(), 127u);
+  m.dropNodeDown = 128;
+  EXPECT_EQ(m.totalDropped(), 255u);
 }
 
 TEST(MetricsTest, DerivedMetricsZeroDeliveredNonzeroOriginated) {
