@@ -8,6 +8,7 @@
 #include "src/core/negative_cache.h"
 #include "src/core/route_cache.h"
 #include "src/mobility/waypoint.h"
+#include "src/prof/profiler.h"
 #include "src/scenario/scenario.h"
 #include "src/sim/rng.h"
 #include "src/sim/scheduler.h"
@@ -110,6 +111,61 @@ void BM_NegativeCacheOps(benchmark::State& state) {
 }
 BENCHMARK(BM_NegativeCacheOps);
 
+// NegativeCache primitive costs in isolation (BM_NegativeCacheOps above
+// measures the mixed insert+contains workload the DSR agent produces).
+void BM_NegativeCacheInsert(benchmark::State& state) {
+  core::NegativeCache neg(64, sim::Time::seconds(10));
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    neg.insert(net::LinkId{static_cast<net::NodeId>(i % 64),
+                           static_cast<net::NodeId>((i + 1) % 64)},
+               sim::Time::millis(static_cast<std::int64_t>(i)));
+    ++i;
+    benchmark::DoNotOptimize(neg.rawSize());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NegativeCacheInsert);
+
+void BM_NegativeCacheLookup(benchmark::State& state) {
+  core::NegativeCache neg(64, sim::Time::seconds(10));
+  const auto now = sim::Time::seconds(1);
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    neg.insert(net::LinkId{static_cast<net::NodeId>(i),
+                           static_cast<net::NodeId>(i + 1)},
+               sim::Time::zero());
+  }
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    // Alternate hits and misses; no entry expires at t=1 s so contains()
+    // never triggers a sweep and measures lookup alone.
+    benchmark::DoNotOptimize(
+        neg.contains(net::LinkId{static_cast<net::NodeId>(i % 128),
+                                 static_cast<net::NodeId>(i % 128 + 1)},
+                     now));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NegativeCacheLookup);
+
+void BM_NegativeCacheExpirySweep(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::NegativeCache neg(128, sim::Time::seconds(10));
+    for (std::uint64_t i = 0; i < 128; ++i) {
+      neg.insert(net::LinkId{static_cast<net::NodeId>(i),
+                             static_cast<net::NodeId>(i + 1)},
+                 sim::Time::zero());
+    }
+    state.ResumeTiming();
+    // All 128 entries are past their TTL: one full sweep.
+    benchmark::DoNotOptimize(neg.size(sim::Time::seconds(20)));
+  }
+  state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK(BM_NegativeCacheExpirySweep);
+
 void BM_WaypointPositionQuery(benchmark::State& state) {
   mobility::RandomWaypoint::Params p;
   p.horizon = sim::Time::seconds(500);
@@ -196,6 +252,66 @@ void BM_TracerRingEmit(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_TracerRingEmit);
+
+// The guard a prof::Scope pays when profiling is off: a null/bool check,
+// no clock read. This is what every tagged handler costs in normal runs.
+void BM_ProfScopeDisabled(benchmark::State& state) {
+  prof::Profiler prof(prof::ProfConfig{});  // enabled = false
+  prof::Profiler* hook = &prof;
+  benchmark::DoNotOptimize(hook);
+  for (auto _ : state) {
+    prof::Scope scope(hook, prof::Category::kMac);
+    benchmark::DoNotOptimize(&scope);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProfScopeDisabled);
+
+// Full cost of one enabled scope: two clock reads plus a histogram record.
+void BM_ProfScopeEnabled(benchmark::State& state) {
+  prof::ProfConfig cfg;
+  cfg.enabled = true;
+  prof::Profiler prof(cfg);
+  for (auto _ : state) {
+    prof::Scope scope(&prof, prof::Category::kMac);
+    benchmark::DoNotOptimize(&scope);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProfScopeEnabled);
+
+void BM_ProfHistogramRecord(benchmark::State& state) {
+  prof::LatencyHistogram hist;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    hist.record((i++ * 2654435761u) & 0xFFFFF);  // spread across octaves
+    benchmark::DoNotOptimize(hist.count());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProfHistogramRecord);
+
+// Scheduler dispatch with a profiler installed and collecting — compare
+// against BM_SchedulerScheduleRun for the per-event profiling overhead.
+void BM_SchedulerDispatchProfiled(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  prof::ProfConfig cfg;
+  cfg.enabled = true;
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    prof::Profiler prof(cfg);
+    sched.setProfiler(&prof);
+    std::uint64_t sum = 0;
+    for (int i = 0; i < n; ++i) {
+      sched.scheduleAt(sim::Time::micros(i), [&sum] { ++sum; },
+                       prof::Category::kMac);
+    }
+    sched.run();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SchedulerDispatchProfiled)->Arg(100000);
 
 }  // namespace
 

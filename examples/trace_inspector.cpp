@@ -7,12 +7,18 @@
 //
 // or, with no trace at hand, `./trace_inspector --demo` runs a small
 // congested scenario, writes a trace, and inspects it in one go.
+//
+// `./trace_inspector --bench BENCH_x.json` instead pretty-prints a
+// perf-baseline report (see bench/perf_baseline and src/prof/bench_report.h).
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "src/prof/bench_report.h"
 #include "src/scenario/scenario.h"
 #include "src/telemetry/trace_reader.h"
 
@@ -97,18 +103,68 @@ std::string writeDemoTrace(bool withFaults) {
   return path;
 }
 
+int inspectBench(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  std::string err;
+  const auto report = prof::parseBenchReport(ss.str(), &err);
+  if (!report) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), err.c_str());
+    return 1;
+  }
+
+  std::printf("%s: label \"%s\", schema v%d, %zu scenarios\n\n", path.c_str(),
+              report->label.c_str(), report->schemaVersion,
+              report->scenarios.size());
+  for (const prof::BenchScenario& s : report->scenarios) {
+    std::printf("%s\n", s.name.c_str());
+    std::printf("  wall (median of %d): %.3f s   [", s.repetitions,
+                s.wallSecondsMedian);
+    for (std::size_t i = 0; i < s.wallSecondsAll.size(); ++i) {
+      std::printf("%s%.3f", i > 0 ? ", " : "", s.wallSecondsAll[i]);
+    }
+    std::printf("]\n");
+    std::printf("  throughput: %.0f events/s  (%llu events)\n",
+                s.eventsPerSecMedian,
+                static_cast<unsigned long long>(s.events));
+    std::printf("  peak RSS %.1f MB, scheduler queue peak %llu\n",
+                static_cast<double>(s.peakRssBytes) / (1024.0 * 1024.0),
+                static_cast<unsigned long long>(s.schedQueuePeak));
+    if (!s.categorySelfSeconds.empty()) {
+      double total = 0.0;
+      for (const auto& [name, secs] : s.categorySelfSeconds) total += secs;
+      std::printf("  where the time went:\n");
+      for (const auto& [name, secs] : s.categorySelfSeconds) {
+        std::printf("    %-10s %8.4f s  %5.1f%%\n", name.c_str(), secs,
+                    total > 0.0 ? 100.0 * secs / total : 0.0);
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string path;
-  if (argc == 2 && std::string(argv[1]) == "--demo") {
+  if (argc == 3 && std::string(argv[1]) == "--bench") {
+    return inspectBench(argv[2]);
+  } else if (argc == 2 && std::string(argv[1]) == "--demo") {
     path = writeDemoTrace(false);
   } else if (argc == 2 && std::string(argv[1]) == "--demo-faults") {
     path = writeDemoTrace(true);
   } else if (argc == 2) {
     path = argv[1];
   } else {
-    std::fprintf(stderr, "usage: %s <trace.jsonl> | --demo | --demo-faults\n",
+    std::fprintf(stderr,
+                 "usage: %s <trace.jsonl> | --demo | --demo-faults |"
+                 " --bench <BENCH_x.json>\n",
                  argv[0]);
     return 2;
   }

@@ -41,7 +41,9 @@ AodvAgent::AodvAgent(net::NodeId self, mac::DcfMac& mac,
           },
       .sendOk = nullptr,
   });
-  sched_.scheduleAfter(cfg_.expirySweepPeriod, [this] { periodicSweep(); });
+  sched_.scheduleAfter(
+      cfg_.expirySweepPeriod, [this] { periodicSweep(); },
+      prof::Category::kRouting);
 }
 
 const AodvAgent::RouteEntry* AodvAgent::route(net::NodeId dst) const {
@@ -85,6 +87,8 @@ void AodvAgent::sendData(net::NodeId dst, std::uint32_t payloadBytes,
 // ---------------------------------------------------------------- receive
 
 void AodvAgent::onReceive(net::PacketPtr p, net::NodeId from) {
+  // Runs inside the receiver's MAC/PHY event; charge AODV work to routing.
+  prof::Scope profScope(sched_.profiler(), prof::Category::kRouting);
   switch (p->kind) {
     case net::PacketKind::kData:
       handleData(p, from);
@@ -191,9 +195,12 @@ void AodvAgent::handleRreq(const net::PacketPtr& p, net::NodeId from) {
   fwd->aodvRreq->hopCount = req.hopCount + 1;
   const auto jitter = sim::Time::nanos(rng_.uniformInt(
       0, std::max<std::int64_t>(1, cfg_.broadcastJitterMax.ns())));
-  sched_.scheduleAfter(jitter, [this, fwd = std::move(fwd)] {
-    mac_.send(fwd, net::kBroadcast, /*priority=*/true);
-  });
+  sched_.scheduleAfter(
+      jitter,
+      [this, fwd = std::move(fwd)] {
+        mac_.send(fwd, net::kBroadcast, /*priority=*/true);
+      },
+      prof::Category::kRouting);
 }
 
 void AodvAgent::sendRrep(net::NodeId toward, const net::AodvRrepHdr& hdr) {
@@ -318,7 +325,8 @@ void AodvAgent::startDiscovery(net::NodeId target) {
   if (metrics_) ++metrics_->routeDiscoveriesStarted;
   sendRreq(target);
   st.pendingEvent = sched_.scheduleAfter(
-      st.backoff, [this, target] { onDiscoveryTimeout(target); });
+      st.backoff, [this, target] { onDiscoveryTimeout(target); },
+      prof::Category::kRouting);
 }
 
 void AodvAgent::onDiscoveryTimeout(net::NodeId target) {
@@ -335,7 +343,8 @@ void AodvAgent::onDiscoveryTimeout(net::NodeId target) {
   sendRreq(target);
   st.backoff = std::min(st.backoff + st.backoff, cfg_.discoveryBackoffMax);
   st.pendingEvent = sched_.scheduleAfter(
-      st.backoff, [this, target] { onDiscoveryTimeout(target); });
+      st.backoff, [this, target] { onDiscoveryTimeout(target); },
+      prof::Category::kRouting);
 }
 
 void AodvAgent::endDiscovery(net::NodeId target) {
@@ -435,7 +444,9 @@ void AodvAgent::periodicSweep() {
   for (auto& [target, st] : discovery_) {
     if (!st.active && sendBuf_.hasPacketsFor(target)) startDiscovery(target);
   }
-  sched_.scheduleAfter(cfg_.expirySweepPeriod, [this] { periodicSweep(); });
+  sched_.scheduleAfter(
+      cfg_.expirySweepPeriod, [this] { periodicSweep(); },
+      prof::Category::kRouting);
 }
 
 bool AodvAgent::rreqSeen(net::NodeId origin, std::uint32_t id) {

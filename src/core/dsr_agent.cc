@@ -63,9 +63,13 @@ DsrAgent::DsrAgent(net::NodeId self, mac::DcfMac& mac, sim::Scheduler& sched,
       .sendOk = nullptr,
   });
   if (cfg_.expiry != ExpiryMode::kNone) {
-    sched_.scheduleAfter(cfg_.expiryCheckPeriod, [this] { periodicExpiry(); });
+    sched_.scheduleAfter(
+        cfg_.expiryCheckPeriod, [this] { periodicExpiry(); },
+        prof::Category::kRouting);
   }
-  sched_.scheduleAfter(sim::Time::seconds(1), [this] { periodicBufferSweep(); });
+  sched_.scheduleAfter(
+      sim::Time::seconds(1), [this] { periodicBufferSweep(); },
+      prof::Category::kRouting);
 }
 
 void DsrAgent::wipeCaches() {
@@ -90,6 +94,8 @@ sim::Time DsrAgent::currentExpiryTimeout() const {
 
 void DsrAgent::sendData(net::NodeId dst, std::uint32_t payloadBytes,
                         std::uint32_t flowId, std::uint64_t seqInFlow) {
+  // Called from CBR ticks (and tests); charge origination to routing.
+  prof::Scope profScope(sched_.profiler(), prof::Category::kRouting);
   if (metrics_) ++metrics_->dataOriginated;
   auto p = net::Packet::make();
   p->kind = net::PacketKind::kData;
@@ -118,6 +124,9 @@ void DsrAgent::sendData(net::NodeId dst, std::uint32_t payloadBytes,
     tracer_->emit(miss);
   }
   auto evicted = sendBuf_.push(std::move(p), dst, sched_.now());
+  if (prof::Profiler* pr = sched_.profiler()) {
+    pr->notePeak(prof::Gauge::kSendBufOccupancy, sendBuf_.size());
+  }
   if (metrics_) metrics_->dropSendBufferOverflow += evicted.size();
   for (const auto& e : evicted) {
     if (e.packet) {
@@ -151,6 +160,9 @@ void DsrAgent::sendPacket(std::shared_ptr<net::Packet> p) {
     tracer_->emit(miss);
   }
   auto evicted = sendBuf_.push(std::move(p), dst, sched_.now());
+  if (prof::Profiler* pr = sched_.profiler()) {
+    pr->notePeak(prof::Gauge::kSendBufOccupancy, sendBuf_.size());
+  }
   if (metrics_) metrics_->dropSendBufferOverflow += evicted.size();
   for (const auto& e : evicted) {
     if (e.packet) {
@@ -182,6 +194,9 @@ void DsrAgent::transmitAlongRoute(std::shared_ptr<net::Packet> p) {
 // ---------------------------------------------------------------- receive
 
 void DsrAgent::onReceive(net::PacketPtr p, net::NodeId from) {
+  // Runs inside the receiver's MAC/PHY event; the scope charges DSR
+  // processing to routing instead.
+  prof::Scope profScope(sched_.profiler(), prof::Category::kRouting);
   // Hearing a neighbor is positive evidence the link to it works: lift any
   // (possibly congestion-induced) quarantine.
   if (cfg_.negativeCache) neg_.erase(net::LinkId{self_, from});
@@ -333,9 +348,12 @@ void DsrAgent::handleRequest(const net::PacketPtr& p, net::NodeId from) {
   fwd->rreq->ttl = req.ttl - 1;
   const auto jitter = sim::Time::nanos(rng_.uniformInt(
       0, std::max<std::int64_t>(1, cfg_.broadcastJitterMax.ns())));
-  sched_.scheduleAfter(jitter, [this, fwd = std::move(fwd)] {
-    mac_.send(fwd, net::kBroadcast, /*priority=*/true);
-  });
+  sched_.scheduleAfter(
+      jitter,
+      [this, fwd = std::move(fwd)] {
+        mac_.send(fwd, net::kBroadcast, /*priority=*/true);
+      },
+      prof::Category::kRouting);
 }
 
 void DsrAgent::sendReply(std::vector<net::NodeId> fullRoute,
@@ -433,7 +451,9 @@ void DsrAgent::startDiscovery(net::NodeId target) {
     if (metrics_) ++metrics_->nonPropRequestsSent;
     sendRequest(target, /*ttl=*/1);
     st.pendingEvent = sched_.scheduleAfter(
-        cfg_.nonPropRequestTimeout, [this, target] { onDiscoveryTimeout(target); });
+        cfg_.nonPropRequestTimeout,
+        [this, target] { onDiscoveryTimeout(target); },
+        prof::Category::kRouting);
   } else {
     onDiscoveryTimeout(target);  // go straight to a flood
   }
@@ -456,7 +476,8 @@ void DsrAgent::onDiscoveryTimeout(net::NodeId target) {
   if (metrics_) ++metrics_->floodRequestsSent;
   sendRequest(target, cfg_.maxRequestTtl);
   st.pendingEvent = sched_.scheduleAfter(
-      st.backoff, [this, target] { onDiscoveryTimeout(target); });
+      st.backoff, [this, target] { onDiscoveryTimeout(target); },
+      prof::Category::kRouting);
   st.backoff = std::min(st.backoff + st.backoff, cfg_.requestBackoffMax);
 }
 
@@ -509,6 +530,7 @@ void DsrAgent::drainSendBuffer() {
 // ------------------------------------------------------------------ errors
 
 void DsrAgent::onSendFailed(net::PacketPtr p, net::NodeId nextHop) {
+  prof::Scope profScope(sched_.profiler(), prof::Category::kRouting);
   const net::LinkId broken{self_, nextHop};
   const bool fake = oracle_ != nullptr &&
                     oracle_->linkValid(self_, nextHop, sched_.now());
@@ -580,6 +602,9 @@ void DsrAgent::noteBrokenLink(net::LinkId link) {
   }
   if (cfg_.negativeCache) {
     neg_.insert(link, sched_.now());
+    if (prof::Profiler* pr = sched_.profiler()) {
+      pr->notePeak(prof::Gauge::kNegCacheEntries, neg_.rawSize());
+    }
     if (metrics_) ++metrics_->negCacheInsertions;
   }
   forwardedLinks_.erase(link);
@@ -656,15 +681,19 @@ void DsrAgent::handleErrorBroadcast(const net::PacketPtr& p) {
     auto fwd = net::clone(*p);
     const auto jitter = sim::Time::nanos(rng_.uniformInt(
         0, std::max<std::int64_t>(1, cfg_.broadcastJitterMax.ns())));
-    sched_.scheduleAfter(jitter, [this, fwd = std::move(fwd)] {
-      mac_.send(fwd, net::kBroadcast, /*priority=*/true);
-    });
+    sched_.scheduleAfter(
+        jitter,
+        [this, fwd = std::move(fwd)] {
+          mac_.send(fwd, net::kBroadcast, /*priority=*/true);
+        },
+        prof::Category::kRouting);
   }
 }
 
 // ------------------------------------------------------------------- tap
 
 void DsrAgent::onTap(const mac::Frame& f) {
+  prof::Scope profScope(sched_.profiler(), prof::Category::kRouting);
   if (cfg_.negativeCache) neg_.erase(net::LinkId{self_, f.src});
   if (!cfg_.promiscuousListening) return;
   if (!f.packet) return;
@@ -754,6 +783,9 @@ void DsrAgent::cacheRoute(std::span<const net::NodeId> hops) {
   }
   if (usable < 2) return;
   cache_->insert(hops.subspan(0, usable), sched_.now());
+  if (prof::Profiler* pr = sched_.profiler()) {
+    pr->notePeak(prof::Gauge::kRouteCacheEntries, cache_->size());
+  }
   // A cache update may make buffered destinations routable.
   if (sendBuf_.size() > 0) drainSendBuffer();
 }
@@ -823,7 +855,9 @@ void DsrAgent::periodicExpiry() {
     const std::size_t pruned = cache_->expireUnusedSince(cutoff);
     if (metrics_) metrics_->expiredLinks += pruned;
   }
-  sched_.scheduleAfter(cfg_.expiryCheckPeriod, [this] { periodicExpiry(); });
+  sched_.scheduleAfter(
+      cfg_.expiryCheckPeriod, [this] { periodicExpiry(); },
+      prof::Category::kRouting);
 }
 
 void DsrAgent::periodicBufferSweep() {
@@ -840,8 +874,9 @@ void DsrAgent::periodicBufferSweep() {
   for (auto& [target, st] : discovery_) {
     if (!st.active && sendBuf_.hasPacketsFor(target)) startDiscovery(target);
   }
-  sched_.scheduleAfter(sim::Time::seconds(1),
-                       [this] { periodicBufferSweep(); });
+  sched_.scheduleAfter(
+      sim::Time::seconds(1), [this] { periodicBufferSweep(); },
+      prof::Category::kRouting);
 }
 
 // -------------------------------------------------------------- dedup sets

@@ -52,6 +52,10 @@ class NegativeCache {
   }
 
   std::size_t size(sim::Time now);
+  /// Stored entries including not-yet-swept expired ones: the memory
+  /// footprint, observable without perturbing expiry state (profiler
+  /// occupancy gauge — must not mutate, unlike size()).
+  std::size_t rawSize() const { return expiry_.size(); }
   std::size_t capacity() const { return capacity_; }
   sim::Time ttl() const { return ttl_; }
 

@@ -41,25 +41,29 @@ sim::Time FaultInjector::expDuration(double meanSec) {
 
 void FaultInjector::scheduleScripted() {
   for (const FaultEvent& ev : plan_.scripted) {
-    sched().scheduleAt(ev.at, [this, ev] {
-      switch (ev.kind) {
-        case FaultKind::kNodeCrash:
-          crash(ev.node);
-          break;
-        case FaultKind::kNodeRecover:
-          recover(ev.node, plan_.churn.wipeCachesOnRecovery);
-          break;
-        case FaultKind::kLinkBlackout:
-          beginBlackout(ev.node, ev.peer, ev.duration, ev.bothDirections);
-          break;
-        case FaultKind::kNoiseBurst:
-          beginNoise(ev.duration, ev.value);
-          break;
-        case FaultKind::kTrafficSurge:
-          beginSurge(ev.duration, ev.value);
-          break;
-      }
-    });
+    sched().scheduleAt(
+        ev.at,
+        [this, ev] {
+          switch (ev.kind) {
+            case FaultKind::kNodeCrash:
+              crash(ev.node);
+              break;
+            case FaultKind::kNodeRecover:
+              recover(ev.node, plan_.churn.wipeCachesOnRecovery);
+              break;
+            case FaultKind::kLinkBlackout:
+              beginBlackout(ev.node, ev.peer, ev.duration,
+                            ev.bothDirections);
+              break;
+            case FaultKind::kNoiseBurst:
+              beginNoise(ev.duration, ev.value);
+              break;
+            case FaultKind::kTrafficSurge:
+              beginSurge(ev.duration, ev.value);
+              break;
+          }
+        },
+        prof::Category::kFault);
   }
 }
 
@@ -78,8 +82,9 @@ void FaultInjector::startChurn() {
         static_cast<std::int64_t>(i), static_cast<std::int64_t>(n - 1)));
     std::swap(ids[i], ids[j]);
     const net::NodeId id = ids[i];
-    sched().scheduleAt(expDuration(plan_.churn.meanUpTimeSec),
-                       [this, id] { churnCrash(id); });
+    sched().scheduleAt(
+        expDuration(plan_.churn.meanUpTimeSec),
+        [this, id] { churnCrash(id); }, prof::Category::kFault);
   }
 }
 
@@ -87,21 +92,29 @@ void FaultInjector::churnCrash(net::NodeId id) {
   crash(id);
   const sim::Time at =
       sched().now() + expDuration(plan_.churn.meanDownTimeSec);
-  if (at < horizon_) sched().scheduleAt(at, [this, id] { churnRecover(id); });
+  if (at < horizon_) {
+    sched().scheduleAt(
+        at, [this, id] { churnRecover(id); }, prof::Category::kFault);
+  }
 }
 
 void FaultInjector::churnRecover(net::NodeId id) {
   recover(id, plan_.churn.wipeCachesOnRecovery);
   const sim::Time at = sched().now() + expDuration(plan_.churn.meanUpTimeSec);
-  if (at < horizon_) sched().scheduleAt(at, [this, id] { churnCrash(id); });
+  if (at < horizon_) {
+    sched().scheduleAt(
+        at, [this, id] { churnCrash(id); }, prof::Category::kFault);
+  }
 }
 
 // ----------------------------------------------------------- generators
 
 void FaultInjector::armBlackoutGenerator(sim::Time at) {
   if (at >= horizon_) return;
-  sched().scheduleAt(at, [this] {
-    const auto n = static_cast<std::int64_t>(net_.size());
+  sched().scheduleAt(
+      at,
+      [this] {
+        const auto n = static_cast<std::int64_t>(net_.size());
     const auto from = static_cast<net::NodeId>(rng_.uniformInt(0, n - 1));
     net::NodeId to;
     do {
@@ -109,30 +122,37 @@ void FaultInjector::armBlackoutGenerator(sim::Time at) {
     } while (to == from);
     const sim::Time dur = expDuration(plan_.blackout.meanDurationSec);
     beginBlackout(from, to, dur, !plan_.blackout.unidirectional);
-    // Next window opens after this one closes (windows never overlap).
-    armBlackoutGenerator(sched().now() + dur +
-                         expDuration(plan_.blackout.meanGapSec));
-  });
+        // Next window opens after this one closes (windows never overlap).
+        armBlackoutGenerator(sched().now() + dur +
+                             expDuration(plan_.blackout.meanGapSec));
+      },
+      prof::Category::kFault);
 }
 
 void FaultInjector::armNoiseGenerator(sim::Time at) {
   if (at >= horizon_) return;
-  sched().scheduleAt(at, [this] {
-    const sim::Time dur = expDuration(plan_.noise.meanDurationSec);
-    beginNoise(dur, plan_.noise.corruptProb);
-    armNoiseGenerator(sched().now() + dur +
-                      expDuration(plan_.noise.meanGapSec));
-  });
+  sched().scheduleAt(
+      at,
+      [this] {
+        const sim::Time dur = expDuration(plan_.noise.meanDurationSec);
+        beginNoise(dur, plan_.noise.corruptProb);
+        armNoiseGenerator(sched().now() + dur +
+                          expDuration(plan_.noise.meanGapSec));
+      },
+      prof::Category::kFault);
 }
 
 void FaultInjector::armSurgeGenerator(sim::Time at) {
   if (at >= horizon_) return;
-  sched().scheduleAt(at, [this] {
-    const sim::Time dur = expDuration(plan_.surge.meanDurationSec);
-    beginSurge(dur, plan_.surge.rateMultiplier);
-    armSurgeGenerator(sched().now() + dur +
-                      expDuration(plan_.surge.meanGapSec));
-  });
+  sched().scheduleAt(
+      at,
+      [this] {
+        const sim::Time dur = expDuration(plan_.surge.meanDurationSec);
+        beginSurge(dur, plan_.surge.rateMultiplier);
+        armSurgeGenerator(sched().now() + dur +
+                          expDuration(plan_.surge.meanGapSec));
+      },
+      prof::Category::kFault);
 }
 
 // -------------------------------------------------------------- actions
@@ -180,7 +200,8 @@ void FaultInjector::beginNoise(sim::Time duration, double corruptProb) {
   }
   ++net_.metrics().faultNoiseBursts;
   traceFault(telemetry::TraceEvent::kNoiseBurst, 0, 0, 0, duration.ns());
-  sched().scheduleAfter(duration, [this] { endNoise(); });
+  sched().scheduleAfter(
+      duration, [this] { endNoise(); }, prof::Category::kFault);
 }
 
 void FaultInjector::endNoise() {
@@ -196,7 +217,8 @@ void FaultInjector::beginSurge(sim::Time duration, double multiplier) {
   for (traffic::CbrSource* s : sources_) s->setRateMultiplier(multiplier);
   ++net_.metrics().faultTrafficSurges;
   traceFault(telemetry::TraceEvent::kTrafficSurge, 0, 0, 0, duration.ns());
-  sched().scheduleAfter(duration, [this] { endSurge(); });
+  sched().scheduleAfter(
+      duration, [this] { endSurge(); }, prof::Category::kFault);
 }
 
 void FaultInjector::endSurge() {

@@ -104,7 +104,8 @@ void DcfMac::scheduleAttempt() {
       std::max({sched_.now(), navUntil_, radio_.busyUntil()});
   const sim::Time at =
       base + cfg_.difs + cfg_.slot * static_cast<double>(backoffSlots_);
-  pendingEvent_ = sched_.scheduleAt(at, [this] { attempt(); });
+  pendingEvent_ = sched_.scheduleAt(at, [this] { attempt(); },
+                                   prof::Category::kMac);
 }
 
 void DcfMac::attempt() {
@@ -129,7 +130,8 @@ void DcfMac::transmitHeadOfLine() {
     countFrameTx(f);
     state_ = State::kSending;
     const sim::Time end = radio_.startTx(f);
-    pendingEvent_ = sched_.scheduleAt(end, [this] { finishCurrent(true); });
+    pendingEvent_ = sched_.scheduleAt(
+        end, [this] { finishCurrent(true); }, prof::Category::kMac);
     return;
   }
 
@@ -149,8 +151,9 @@ void DcfMac::transmitHeadOfLine() {
     countFrameTx(rts);
     state_ = State::kAwaitCts;
     const sim::Time end = radio_.startTx(rts);
-    pendingEvent_ =
-        sched_.scheduleAt(end + ctsTimeout(), [this] { onCtsTimeout(); });
+    pendingEvent_ = sched_.scheduleAt(
+        end + ctsTimeout(), [this] { onCtsTimeout(); },
+        prof::Category::kMac);
   } else {
     sendDataFrame();
   }
@@ -170,8 +173,9 @@ void DcfMac::sendDataFrame() {
   countFrameTx(f);
   state_ = State::kAwaitAck;
   const sim::Time end = radio_.startTx(f);
-  pendingEvent_ = sched_.scheduleAt(end + ackTimeoutFor(f.bytes()),
-                                    [this] { onAckTimeout(); });
+  pendingEvent_ = sched_.scheduleAt(
+      end + ackTimeoutFor(f.bytes()), [this] { onAckTimeout(); },
+      prof::Category::kMac);
 }
 
 void DcfMac::sendControl(FrameType type, net::NodeId dst,
@@ -202,28 +206,37 @@ void DcfMac::onFrame(const Frame& f) {
           const sim::Time ctsDur =
               f.duration - cfg_.sifs - airtime(kCtsBytes);
           const net::NodeId peer = f.src;
-          sched_.scheduleAfter(cfg_.sifs, [this, peer, ctsDur] {
-            sendControl(FrameType::kCts, peer, ctsDur);
-          });
+          sched_.scheduleAfter(
+              cfg_.sifs,
+              [this, peer, ctsDur] {
+                sendControl(FrameType::kCts, peer, ctsDur);
+              },
+              prof::Category::kMac);
         }
         break;
       case FrameType::kCts:
         if (state_ == State::kAwaitCts) {
           sched_.cancel(pendingEvent_);
           pendingEvent_ = sim::kInvalidEvent;
-          sched_.scheduleAfter(cfg_.sifs, [this] {
-            if (state_ == State::kAwaitCts && !queue_.empty()) {
-              sendDataFrame();
-            }
-          });
+          sched_.scheduleAfter(
+              cfg_.sifs,
+              [this] {
+                if (state_ == State::kAwaitCts && !queue_.empty()) {
+                  sendDataFrame();
+                }
+              },
+              prof::Category::kMac);
         }
         break;
       case FrameType::kData: {
         const net::NodeId peer = f.src;
         const sim::Time ackDur = sim::Time::zero();
-        sched_.scheduleAfter(cfg_.sifs, [this, peer, ackDur] {
-          sendControl(FrameType::kAck, peer, ackDur);
-        });
+        sched_.scheduleAfter(
+            cfg_.sifs,
+            [this, peer, ackDur] {
+              sendControl(FrameType::kAck, peer, ackDur);
+            },
+            prof::Category::kMac);
         // Filter duplicates created by lost ACKs.
         auto it = lastDeliveredSeq_.find(f.src);
         if (f.retry && it != lastDeliveredSeq_.end() && it->second == f.seq) {

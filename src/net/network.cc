@@ -15,6 +15,12 @@ Network::Network(const NetworkConfig& cfg, std::uint64_t seed)
 
 Network::~Network() = default;
 
+void Network::enableProfiling(const prof::ProfConfig& cfg) {
+  if (!cfg.installed()) return;
+  profiler_ = std::make_unique<prof::Profiler>(cfg);
+  sched_.setProfiler(profiler_.get());
+}
+
 void Network::installFaults(const fault::FaultPlan& plan, sim::Time horizon) {
   if (plan.empty()) return;
   plan.validate(static_cast<int>(nodes_.size()), horizon);

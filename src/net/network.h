@@ -10,6 +10,7 @@
 #include "src/metrics/oracle.h"
 #include "src/net/node.h"
 #include "src/phy/channel.h"
+#include "src/prof/profiler.h"
 #include "src/sim/rng.h"
 #include "src/sim/scheduler.h"
 #include "src/telemetry/trace.h"
@@ -51,6 +52,15 @@ class Network {
   /// full run. With no sinks attached, tracing costs one branch per hook.
   telemetry::Tracer& tracer() { return tracer_; }
 
+  /// Construct and attach the self-profiler when `cfg.installed()`; call
+  /// before the run starts (ideally before nodes are added). Profiling
+  /// reads only the wall clock — never sim time or sim RNG — so enabling
+  /// it cannot change a run's results. A non-installed config is a no-op.
+  void enableProfiling(const prof::ProfConfig& cfg);
+  /// The installed profiler, or nullptr (subsystems use the scheduler's
+  /// accessor on the hot path; this one is for reports).
+  prof::Profiler* profiler() { return profiler_.get(); }
+
   /// Install a fault plan (validated fail-fast against the current node
   /// count). Call after all nodes are added and before the run starts. An
   /// empty plan installs nothing — the fault layer is then a strict no-op.
@@ -59,6 +69,8 @@ class Network {
   fault::FaultInjector* faults() { return faults_.get(); }
 
   Vec2 positionOf(NodeId id, sim::Time t) const {
+    // Oracle-driven position queries are mobility work, wherever they run.
+    prof::Scope profScope(sched_.profiler(), prof::Category::kMobility);
     return nodes_.at(id)->mobility().positionAt(t);
   }
 
@@ -74,6 +86,7 @@ class Network {
   telemetry::Tracer tracer_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::unique_ptr<fault::FaultInjector> faults_;
+  std::unique_ptr<prof::Profiler> profiler_;
 };
 
 }  // namespace manet::net

@@ -26,11 +26,13 @@ sim::Time Channel::transmit(Radio& sender, const mac::Frame& f) {
     if (!blackouts_.empty() && linkBlocked(sender.id(), r->id(), now)) {
       continue;
     }
-    sched_.scheduleAt(now + cfg_.propagationDelay,
-                      [r, txId, d] { r->rxStart(txId, d); });
+    sched_.scheduleAt(
+        now + cfg_.propagationDelay, [r, txId, d] { r->rxStart(txId, d); },
+        prof::Category::kPhy);
     // Copy the frame into the end event: the sender's copy may be reused.
-    sched_.scheduleAt(end + cfg_.propagationDelay,
-                      [r, txId, f] { r->rxEnd(txId, f); });
+    sched_.scheduleAt(
+        end + cfg_.propagationDelay, [r, txId, f] { r->rxEnd(txId, f); },
+        prof::Category::kPhy);
   }
   return end;
 }

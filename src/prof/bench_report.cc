@@ -1,0 +1,208 @@
+#include "src/prof/bench_report.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "src/util/json.h"
+
+namespace manet::prof {
+
+namespace {
+
+void appendEscaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c; break;
+    }
+  }
+  out += '"';
+}
+
+void kvNum(std::string& out, const char* key, double v, bool first = false) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%s\"%s\":%.9g", first ? "" : ",", key, v);
+  out += buf;
+}
+
+void kvU64(std::string& out, const char* key, std::uint64_t v,
+           bool first = false) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%s\"%s\":%" PRIu64, first ? "" : ",", key,
+                v);
+  out += buf;
+}
+
+std::uint64_t u64At(const util::JsonValue& obj, std::string_view key) {
+  const double d = obj.numberAt(key, 0.0);
+  return d <= 0.0 ? 0 : static_cast<std::uint64_t>(d);
+}
+
+}  // namespace
+
+const BenchScenario* BenchReport::find(const std::string& name) const {
+  for (const BenchScenario& s : scenarios) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::string toJson(const BenchReport& r) {
+  std::string out = "{\"schema_version\":";
+  out += std::to_string(r.schemaVersion);
+  out += ",\"label\":";
+  appendEscaped(out, r.label);
+  out += ",\"scenarios\":[";
+  for (std::size_t i = 0; i < r.scenarios.size(); ++i) {
+    const BenchScenario& s = r.scenarios[i];
+    if (i > 0) out += ',';
+    out += "{\"name\":";
+    appendEscaped(out, s.name);
+    kvU64(out, "repetitions", static_cast<std::uint64_t>(s.repetitions));
+    kvU64(out, "events", s.events);
+    kvNum(out, "wall_seconds_median", s.wallSecondsMedian);
+    kvNum(out, "events_per_sec_median", s.eventsPerSecMedian);
+    out += ",\"wall_seconds_all\":[";
+    for (std::size_t j = 0; j < s.wallSecondsAll.size(); ++j) {
+      if (j > 0) out += ',';
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "%.9g", s.wallSecondsAll[j]);
+      out += buf;
+    }
+    out += ']';
+    kvU64(out, "peak_rss_bytes", s.peakRssBytes);
+    kvU64(out, "sched_queue_peak", s.schedQueuePeak);
+    out += ",\"category_self_seconds\":{";
+    for (std::size_t j = 0; j < s.categorySelfSeconds.size(); ++j) {
+      if (j > 0) out += ',';
+      appendEscaped(out, s.categorySelfSeconds[j].first);
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), ":%.9g",
+                    s.categorySelfSeconds[j].second);
+      out += buf;
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::optional<BenchReport> parseBenchReport(std::string_view text,
+                                            std::string* err) {
+  const std::optional<util::JsonValue> doc = util::parseJson(text, err);
+  if (!doc) return std::nullopt;
+  if (!doc->isObject()) {
+    if (err != nullptr) *err = "BENCH document is not a JSON object";
+    return std::nullopt;
+  }
+  BenchReport r;
+  r.schemaVersion = static_cast<int>(doc->numberAt("schema_version", 0.0));
+  if (r.schemaVersion != kBenchSchemaVersion) {
+    if (err != nullptr) {
+      *err = "unsupported BENCH schema_version " +
+             std::to_string(r.schemaVersion) + " (expected " +
+             std::to_string(kBenchSchemaVersion) + ")";
+    }
+    return std::nullopt;
+  }
+  r.label = doc->stringAt("label");
+  const util::JsonValue* scenarios = doc->find("scenarios");
+  if (scenarios != nullptr && scenarios->isArray()) {
+    for (const util::JsonValue& sv : scenarios->asArray()) {
+      if (!sv.isObject()) continue;
+      BenchScenario s;
+      s.name = sv.stringAt("name");
+      s.repetitions = static_cast<int>(sv.numberAt("repetitions", 0.0));
+      s.events = u64At(sv, "events");
+      s.wallSecondsMedian = sv.numberAt("wall_seconds_median", 0.0);
+      s.eventsPerSecMedian = sv.numberAt("events_per_sec_median", 0.0);
+      if (const util::JsonValue* all = sv.find("wall_seconds_all");
+          all != nullptr && all->isArray()) {
+        for (const util::JsonValue& w : all->asArray()) {
+          s.wallSecondsAll.push_back(w.asNumber());
+        }
+      }
+      s.peakRssBytes = u64At(sv, "peak_rss_bytes");
+      s.schedQueuePeak = u64At(sv, "sched_queue_peak");
+      if (const util::JsonValue* cats = sv.find("category_self_seconds");
+          cats != nullptr && cats->isObject()) {
+        for (const auto& [name, secs] : cats->asObject()) {
+          s.categorySelfSeconds.emplace_back(name, secs.asNumber());
+        }
+      }
+      r.scenarios.push_back(std::move(s));
+    }
+  }
+  return r;
+}
+
+BenchComparison compareBenchReports(const BenchReport& baseline,
+                                    const BenchReport& candidate,
+                                    double threshold) {
+  BenchComparison c;
+  c.threshold = threshold;
+  for (const BenchScenario& base : baseline.scenarios) {
+    const BenchScenario* cand = candidate.find(base.name);
+    if (cand == nullptr) {
+      c.onlyInBaseline.push_back(base.name);
+      continue;
+    }
+    BenchComparisonRow row;
+    row.name = base.name;
+    row.baselineWallSec = base.wallSecondsMedian;
+    row.candidateWallSec = cand->wallSecondsMedian;
+    row.baselineEventsPerSec = base.eventsPerSecMedian;
+    row.candidateEventsPerSec = cand->eventsPerSecMedian;
+    row.wallRatio = base.wallSecondsMedian > 0.0
+                        ? cand->wallSecondsMedian / base.wallSecondsMedian
+                        : 0.0;
+    row.regressed = base.wallSecondsMedian > 0.0 &&
+                    cand->wallSecondsMedian >
+                        base.wallSecondsMedian * (1.0 + threshold);
+    if (row.regressed) c.regressed = true;
+    c.rows.push_back(std::move(row));
+  }
+  for (const BenchScenario& cand : candidate.scenarios) {
+    if (baseline.find(cand.name) == nullptr) {
+      c.onlyInCandidate.push_back(cand.name);
+    }
+  }
+  return c;
+}
+
+std::string formatComparison(const BenchComparison& c) {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%-24s %12s %12s %8s  %s\n", "scenario",
+                "base wall s", "cand wall s", "ratio", "verdict");
+  out += buf;
+  for (const BenchComparisonRow& row : c.rows) {
+    std::snprintf(buf, sizeof(buf), "%-24s %12.3f %12.3f %8.3f  %s\n",
+                  row.name.c_str(), row.baselineWallSec, row.candidateWallSec,
+                  row.wallRatio,
+                  row.regressed ? "REGRESSED" : "ok");
+    out += buf;
+  }
+  for (const std::string& name : c.onlyInBaseline) {
+    std::snprintf(buf, sizeof(buf), "%-24s missing from candidate\n",
+                  name.c_str());
+    out += buf;
+  }
+  for (const std::string& name : c.onlyInCandidate) {
+    std::snprintf(buf, sizeof(buf), "%-24s missing from baseline\n",
+                  name.c_str());
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "threshold: +%.0f%% wall time; overall: %s\n",
+                c.threshold * 100.0,
+                c.regressed ? "REGRESSION DETECTED" : "within threshold");
+  out += buf;
+  return out;
+}
+
+}  // namespace manet::prof

@@ -1,0 +1,84 @@
+// BENCH_*.json — the repo's performance-baseline file format.
+//
+// bench/perf_baseline runs the canonical scenarios, takes the median wall
+// time of >= 3 repetitions, and writes one schema-versioned BenchReport.
+// Committed baselines (BENCH_seed.json) let later sessions and CI diff a
+// fresh run against a known-good machine profile: compareBenchReports
+// flags any scenario whose median wall time regressed past a configurable
+// threshold. Parsing goes through util::parseJson, so a report written by
+// one build is readable by every later one (unknown keys are ignored;
+// schema_version gates incompatible rewrites).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace manet::prof {
+
+inline constexpr int kBenchSchemaVersion = 1;
+
+/// One benchmark scenario's measured profile (median across repetitions).
+struct BenchScenario {
+  std::string name;
+  int repetitions = 0;
+  std::uint64_t events = 0;          // scheduler dispatches, median rep
+  double wallSecondsMedian = 0.0;
+  double eventsPerSecMedian = 0.0;
+  std::vector<double> wallSecondsAll;  // every repetition, run order
+  std::uint64_t peakRssBytes = 0;
+  std::uint64_t schedQueuePeak = 0;
+  /// Per-category exclusive wall time (seconds) from the median repetition,
+  /// category name -> seconds; categories with no activity are omitted.
+  std::vector<std::pair<std::string, double>> categorySelfSeconds;
+};
+
+struct BenchReport {
+  int schemaVersion = kBenchSchemaVersion;
+  std::string label;
+  std::vector<BenchScenario> scenarios;
+
+  const BenchScenario* find(const std::string& name) const;
+};
+
+std::string toJson(const BenchReport& r);
+
+/// Parse a BENCH_*.json document. Returns nullopt (and sets `err` if
+/// non-null) on malformed JSON or an unsupported schema_version.
+std::optional<BenchReport> parseBenchReport(std::string_view text,
+                                            std::string* err = nullptr);
+
+/// One scenario's baseline-vs-candidate delta.
+struct BenchComparisonRow {
+  std::string name;
+  double baselineWallSec = 0.0;
+  double candidateWallSec = 0.0;
+  /// candidate / baseline; > 1 means the candidate is slower.
+  double wallRatio = 0.0;
+  double baselineEventsPerSec = 0.0;
+  double candidateEventsPerSec = 0.0;
+  bool regressed = false;
+};
+
+struct BenchComparison {
+  std::vector<BenchComparisonRow> rows;
+  /// Scenarios present in only one of the two reports (not an error, but
+  /// reported so a silently shrunk benchmark set can't hide a regression).
+  std::vector<std::string> onlyInBaseline;
+  std::vector<std::string> onlyInCandidate;
+  double threshold = 0.0;
+  bool regressed = false;  // any row regressed
+};
+
+/// Compare two reports scenario-by-scenario. A scenario regresses when its
+/// candidate median wall time exceeds baseline * (1 + threshold).
+BenchComparison compareBenchReports(const BenchReport& baseline,
+                                    const BenchReport& candidate,
+                                    double threshold);
+
+/// Human-readable comparison table (one line per scenario plus a verdict).
+std::string formatComparison(const BenchComparison& c);
+
+}  // namespace manet::prof

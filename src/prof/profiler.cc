@@ -1,0 +1,248 @@
+#include "src/prof/profiler.h"
+
+#include <sys/resource.h>
+
+#include <bit>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+namespace manet::prof {
+
+const char* toString(Category c) {
+  switch (c) {
+    case Category::kPhy: return "phy";
+    case Category::kMac: return "mac";
+    case Category::kRouting: return "routing";
+    case Category::kMobility: return "mobility";
+    case Category::kTraffic: return "traffic";
+    case Category::kTransport: return "transport";
+    case Category::kFault: return "fault";
+    case Category::kTelemetry: return "telemetry";
+    case Category::kOther: return "other";
+  }
+  return "?";
+}
+
+const char* toString(Gauge g) {
+  switch (g) {
+    case Gauge::kRouteCacheEntries: return "route_cache_entries_peak";
+    case Gauge::kNegCacheEntries: return "neg_cache_entries_peak";
+    case Gauge::kSendBufOccupancy: return "send_buf_occupancy_peak";
+  }
+  return "?";
+}
+
+ProfConfig ProfConfig::fromEnv(ProfConfig base) {
+  if (const char* v = std::getenv("MANET_PROF"); v != nullptr) {
+    base.enabled = v[0] == '1';
+  }
+  if (const char* v = std::getenv("MANET_PROF_HIST"); v != nullptr) {
+    base.histograms = v[0] != '0';
+  }
+  if (const char* v = std::getenv("MANET_PROF_HEARTBEAT");
+      v != nullptr && v[0] != '\0') {
+    char* end = nullptr;
+    const double secs = std::strtod(v, &end);
+    if (end != v && secs >= 0.0) base.heartbeatSec = secs;
+  }
+  return base;
+}
+
+// ---------------------------------------------------------------- histogram
+
+int LatencyHistogram::bucketIndex(std::uint64_t ns) {
+  if (ns < kSub) return static_cast<int>(ns);
+  const int msb = 63 - std::countl_zero(ns);
+  // Keep the top kSubBits+1 bits: (ns >> (msb-kSubBits)) is in [kSub, 2*kSub).
+  const int idx = static_cast<int>(
+      static_cast<std::uint64_t>((msb - kSubBits + 1)) * kSub +
+      ((ns >> (msb - kSubBits)) - kSub));
+  return idx < kBuckets ? idx : kBuckets - 1;
+}
+
+std::uint64_t LatencyHistogram::bucketLowNs(int bucket) {
+  if (bucket < kSub) return static_cast<std::uint64_t>(bucket);
+  const int octave = bucket / kSub;       // >= 1
+  const int rem = bucket % kSub;
+  return static_cast<std::uint64_t>(kSub + rem) << (octave - 1);
+}
+
+std::uint64_t LatencyHistogram::bucketHighNs(int bucket) {
+  if (bucket < kSub) return static_cast<std::uint64_t>(bucket) + 1;
+  const int octave = bucket / kSub;
+  const int rem = bucket % kSub;
+  const std::uint64_t base = static_cast<std::uint64_t>(kSub + rem + 1);
+  const int shift = octave - 1;
+  // The top buckets' exclusive bound exceeds uint64: saturate.
+  if (shift >= 64 ||
+      base > (std::numeric_limits<std::uint64_t>::max() >> shift)) {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  return base << shift;
+}
+
+void LatencyHistogram::record(std::uint64_t ns) {
+  ++counts_[static_cast<std::size_t>(bucketIndex(ns))];
+  ++count_;
+  totalNs_ += ns;
+  if (ns > maxNs_) maxNs_ = ns;
+}
+
+double LatencyHistogram::percentileNs(double p) const {
+  if (count_ == 0) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  // Rank of the target sample, 1-based; at least 1.
+  const double exact = p / 100.0 * static_cast<double>(count_);
+  std::uint64_t rank = static_cast<std::uint64_t>(exact);
+  if (static_cast<double>(rank) < exact || rank == 0) ++rank;
+  std::uint64_t cum = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    if (counts_[b] == 0) continue;
+    if (cum + counts_[b] >= rank) {
+      const double frac = static_cast<double>(rank - cum) /
+                          static_cast<double>(counts_[b]);
+      const double low = static_cast<double>(bucketLowNs(b));
+      // Interpolate up to the bucket's largest *member* (high is an
+      // exclusive bound), which makes width-1 buckets (< kSub ns) exact.
+      const double top = static_cast<double>(bucketHighNs(b) - 1);
+      return low + (top - low) * frac;
+    }
+    cum += counts_[b];
+  }
+  return static_cast<double>(maxNs_);
+}
+
+// ----------------------------------------------------------------- profiler
+
+namespace {
+
+std::uint64_t steadyNowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+Profiler::Profiler(ProfConfig cfg, ClockFn clock)
+    : cfg_(cfg), clock_(clock != nullptr ? clock : &steadyNowNs) {
+  if (cfg_.heartbeatSec > 0.0) {
+    heartbeatPeriodNs_ = static_cast<std::uint64_t>(cfg_.heartbeatSec * 1e9);
+    startWallNs_ = clock_();
+    lastBeatWallNs_ = startWallNs_;
+  }
+}
+
+void Profiler::heartbeatSlow(std::int64_t simNowNs, std::int64_t simUntilNs,
+                             std::uint64_t executed) {
+  const std::uint64_t wall = clock_();
+  if (wall - lastBeatWallNs_ < heartbeatPeriodNs_) return;
+  const double wallDelta = static_cast<double>(wall - lastBeatWallNs_) / 1e9;
+  const double simDelta =
+      static_cast<double>(simNowNs - lastBeatSimNs_) / 1e9;
+  const double evRate =
+      static_cast<double>(executed - lastBeatEvents_) / wallDelta;
+  const double simRate = simDelta / wallDelta;  // sim seconds per wall second
+  char eta[48];
+  // Time::max() marks an unbounded run; no ETA then.
+  if (simUntilNs > simNowNs && simRate > 0.0 &&
+      simUntilNs != std::numeric_limits<std::int64_t>::max()) {
+    std::snprintf(eta, sizeof(eta), " | eta %.1fs",
+                  static_cast<double>(simUntilNs - simNowNs) / 1e9 / simRate);
+  } else {
+    eta[0] = '\0';
+  }
+  std::fprintf(stderr,
+               "[prof] sim t=%.1fs | %.2fM ev/s | sim rate %.2fx | "
+               "%" PRIu64 " events | wall %.1fs%s\n",
+               static_cast<double>(simNowNs) / 1e9, evRate / 1e6, simRate,
+               executed,
+               static_cast<double>(wall - startWallNs_) / 1e9, eta);
+  lastBeatWallNs_ = wall;
+  lastBeatSimNs_ = simNowNs;
+  lastBeatEvents_ = executed;
+}
+
+Report Profiler::report() const {
+  Report r;
+  r.enabled = cfg_.enabled;
+  for (std::size_t i = 0; i < kNumCategories; ++i) {
+    const CategoryStats& s = stats_[i];
+    CategoryReport& c = r.categories[i];
+    c.category = static_cast<Category>(i);
+    c.dispatches = s.dispatches;
+    c.scopes = s.scopes;
+    c.selfNs = s.selfNs;
+    c.maxNs = s.latency.maxNs();
+    if (cfg_.histograms && s.latency.count() > 0) {
+      c.p50Ns = s.latency.percentileNs(50.0);
+      c.p90Ns = s.latency.percentileNs(90.0);
+      c.p99Ns = s.latency.percentileNs(99.0);
+    }
+    r.totalSelfNs += s.selfNs;
+    r.totalDispatches += s.dispatches;
+  }
+  r.gaugePeaks = gaugePeaks_;
+  r.peakRssBytes = readPeakRssBytes();
+  return r;
+}
+
+std::uint64_t readPeakRssBytes() {
+  // VmHWM from /proc/self/status is the peak resident set in kB.
+  if (std::FILE* f = std::fopen("/proc/self/status", "r")) {
+    char line[256];
+    std::uint64_t kb = 0;
+    bool found = false;
+    while (std::fgets(line, sizeof(line), f) != nullptr) {
+      if (std::sscanf(line, "VmHWM: %" SCNu64 " kB", &kb) == 1) {
+        found = true;
+        break;
+      }
+    }
+    std::fclose(f);
+    if (found) return kb * 1024;
+  }
+  struct rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) == 0 && ru.ru_maxrss > 0) {
+    return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;  // kB on Linux
+  }
+  return 0;
+}
+
+std::string toJson(const Report& r) {
+  char buf[256];
+  std::string out = "{\"enabled\":";
+  out += r.enabled ? "true" : "false";
+  std::snprintf(buf, sizeof(buf),
+                ",\"peak_rss_bytes\":%" PRIu64 ",\"total_self_ns\":%" PRIu64
+                ",\"total_dispatches\":%" PRIu64,
+                r.peakRssBytes, r.totalSelfNs, r.totalDispatches);
+  out += buf;
+  for (std::size_t g = 0; g < kNumGauges; ++g) {
+    std::snprintf(buf, sizeof(buf), ",\"%s\":%" PRIu64,
+                  toString(static_cast<Gauge>(g)), r.gaugePeaks[g]);
+    out += buf;
+  }
+  out += ",\"categories\":{";
+  bool first = true;
+  for (const CategoryReport& c : r.categories) {
+    if (c.dispatches == 0 && c.scopes == 0) continue;
+    std::snprintf(buf, sizeof(buf),
+                  "%s\"%s\":{\"dispatches\":%" PRIu64 ",\"scopes\":%" PRIu64
+                  ",\"self_ns\":%" PRIu64 ",\"max_ns\":%" PRIu64
+                  ",\"p50_ns\":%.9g,\"p90_ns\":%.9g,\"p99_ns\":%.9g}",
+                  first ? "" : ",", toString(c.category), c.dispatches,
+                  c.scopes, c.selfNs, c.maxNs, c.p50Ns, c.p90Ns, c.p99Ns);
+    out += buf;
+    first = false;
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace manet::prof

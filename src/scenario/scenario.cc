@@ -61,6 +61,11 @@ Scenario::Scenario(const ScenarioConfig& cfg) : cfg_(cfg) {
   // traffic pattern below stays fixed across replications.
   network_ = std::make_unique<net::Network>(netCfg, cfg.mobilitySeed);
 
+  // Profiling attaches first so even construction-time events (flow start
+  // jitter, sampler probes) are attributed. Wall-clock only: cannot
+  // perturb the run.
+  network_->enableProfiling(cfg_.prof);
+
   // Telemetry: attach sinks before any node exists so even construction-time
   // events would be caught, and start the sampler before traffic begins.
   const telemetry::TelemetryConfig& tel = cfg.telemetry;
@@ -142,10 +147,13 @@ Scenario::Scenario(const ScenarioConfig& cfg) : cfg_(cfg) {
 
 void Scenario::scheduleCacheConsistencySweep(sim::Time at) {
   if (at >= cfg_.duration) return;
-  network_->scheduler().scheduleAt(at, [this, at] {
-    fault::checkCacheConsistency(*network_, *checker_);
-    scheduleCacheConsistencySweep(at + sim::Time::seconds(1));
-  });
+  network_->scheduler().scheduleAt(
+      at,
+      [this, at] {
+        fault::checkCacheConsistency(*network_, *checker_);
+        scheduleCacheConsistencySweep(at + sim::Time::seconds(1));
+      },
+      prof::Category::kTelemetry);
 }
 
 Scenario::~Scenario() {
@@ -162,6 +170,8 @@ RunResult Scenario::run() {
   r.duration = cfg_.duration;
   r.eventsExecuted = network_->scheduler().executedCount();
   r.wallSeconds = std::chrono::duration<double>(wallEnd - wallStart).count();
+  r.schedQueuePeak = network_->scheduler().queueHighWater();
+  if (prof::Profiler* p = network_->profiler()) r.profile = p->report();
   if (sampler_) r.series = sampler_->takeSeries();
   if (checker_) {
     checker_->finalCheck(r.metrics);

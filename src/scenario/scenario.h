@@ -13,6 +13,7 @@
 #include "src/metrics/metrics.h"
 #include "src/net/network.h"
 #include "src/phy/channel.h"
+#include "src/prof/profiler.h"
 #include "src/telemetry/sampler.h"
 #include "src/telemetry/telemetry_config.h"
 #include "src/telemetry/trace.h"
@@ -57,6 +58,12 @@ struct ScenarioConfig {
   /// empty — an empty plan is a strict no-op (bit-identical runs).
   fault::FaultPlan fault = fault::FaultPlan::fromEnv();
 
+  /// Self-profiling knobs (per-category wall-time attribution, progress
+  /// heartbeat); defaults pick up MANET_PROF_* environment overrides.
+  /// Profiling reads only the wall clock, so enabling it keeps runs
+  /// bit-identical (enforced by tests/integration).
+  prof::ProfConfig prof = prof::ProfConfig::fromEnv();
+
   /// Install the InvariantChecker for this run (also switchable globally
   /// with MANET_CHECK=1). Violations make Scenario::run() throw.
   bool invariantChecks = false;
@@ -72,8 +79,13 @@ struct RunResult {
   sim::Time duration;
   std::uint64_t eventsExecuted = 0;
   double wallSeconds = 0.0;
+  /// Scheduler-queue high-water mark; always tracked, profiling or not.
+  std::uint64_t schedQueuePeak = 0;
   /// Time-series samples (empty unless cfg.telemetry.samplePeriod > 0).
   telemetry::SampleSeries series;
+  /// Per-category wall-time breakdown (profile.enabled is false unless
+  /// cfg.prof.enabled was set for the run).
+  prof::Report profile;
 };
 
 /// A live scenario: the network plus its traffic sources. Exposed (rather

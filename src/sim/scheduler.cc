@@ -5,10 +5,12 @@
 
 namespace manet::sim {
 
-EventId Scheduler::scheduleAt(Time at, std::function<void()> fn) {
+EventId Scheduler::scheduleAt(Time at, std::function<void()> fn,
+                              prof::Category cat) {
   assert(at >= now_ && "cannot schedule in the past");
   const EventId id = nextId_++;
-  queue_.push(Entry{at, id, std::move(fn)});
+  queue_.push(Entry{at, id, std::move(fn), cat});
+  if (queue_.size() > queuePeak_) queuePeak_ = queue_.size();
   states_.push_back(EvState::kPending);
   assert(baseId_ + states_.size() == nextId_);
   return id;
@@ -49,12 +51,22 @@ void Scheduler::runUntil(Time until) {
     }
     // Move the handler out before popping so it may schedule/cancel freely.
     Time at = top.at;
+    const prof::Category cat = top.cat;
     std::function<void()> fn = std::move(const_cast<Entry&>(top).fn);
     queue_.pop();
     retire(id);  // a handler cancelling its own id is a no-op
     now_ = at;
     ++executed_;
-    fn();
+    if (prof_ != nullptr) {
+      {
+        prof::Scope scope(prof_, cat);  // inert unless collecting
+        prof_->countDispatch(cat);
+        fn();
+      }
+      prof_->heartbeat(now_.ns(), until.ns(), executed_);
+    } else {
+      fn();
+    }
   }
   if (now_ < until && until != Time::max()) now_ = until;
 }

@@ -7,6 +7,7 @@
 #include <queue>
 #include <vector>
 
+#include "src/prof/profiler.h"
 #include "src/sim/time.h"
 
 namespace manet::sim {
@@ -33,11 +34,14 @@ class Scheduler {
   Time now() const { return now_; }
 
   /// Schedule `fn` to run at absolute time `at` (must be >= now()).
-  EventId scheduleAt(Time at, std::function<void()> fn);
+  /// `cat` attributes the handler's wall time when profiling is on.
+  EventId scheduleAt(Time at, std::function<void()> fn,
+                     prof::Category cat = prof::Category::kOther);
 
   /// Schedule `fn` to run `delay` after now().
-  EventId scheduleAfter(Time delay, std::function<void()> fn) {
-    return scheduleAt(now_ + delay, std::move(fn));
+  EventId scheduleAfter(Time delay, std::function<void()> fn,
+                        prof::Category cat = prof::Category::kOther) {
+    return scheduleAt(now_ + delay, std::move(fn), cat);
   }
 
   /// Cancel a pending event. Safe to call with an already-fired or invalid id.
@@ -52,14 +56,29 @@ class Scheduler {
 
   /// Number of events executed so far (for microbenchmarks / sanity checks).
   std::uint64_t executedCount() const { return executed_; }
+  /// Total handlers dispatched (alias of executedCount; cancelled entries
+  /// are popped without dispatching and do not count).
+  std::uint64_t totalDispatched() const { return executed_; }
   /// Number of events still queued and not cancelled.
   std::size_t pendingCount() const { return queue_.size() - cancelledLive_; }
+  /// Largest raw queue size ever reached (cancelled entries included —
+  /// this is the memory high-water mark). Tracked unconditionally.
+  std::size_t queueHighWater() const { return queuePeak_; }
+
+  /// Attach a profiler (nullable; not owned). When set, each dispatched
+  /// event is timed and charged to its scheduling category, and the
+  /// profiler's progress heartbeat is driven from the dispatch loop. The
+  /// profiler only observes wall time — simulated time, ordering and every
+  /// RNG stream are untouched, so profiled runs stay bit-identical.
+  void setProfiler(prof::Profiler* p) { prof_ = p; }
+  prof::Profiler* profiler() const { return prof_; }
 
  private:
   struct Entry {
     Time at;
     EventId id;
     std::function<void()> fn;
+    prof::Category cat;
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
@@ -88,6 +107,8 @@ class Scheduler {
   /// Entries in queue_ whose state is kCancelled (kept exact so
   /// pendingCount() cannot underflow).
   std::size_t cancelledLive_ = 0;
+  std::size_t queuePeak_ = 0;
+  prof::Profiler* prof_ = nullptr;
 };
 
 }  // namespace manet::sim

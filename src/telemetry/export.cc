@@ -5,6 +5,8 @@
 #include <filesystem>
 #include <fstream>
 
+#include "src/prof/profiler.h"
+
 namespace manet::telemetry {
 
 namespace {
@@ -91,7 +93,15 @@ std::string runResultJson(const scenario::RunResult& r) {
   kv(out, "duration_s", r.duration.toSeconds(), /*first=*/true);
   kv(out, "events_executed", r.eventsExecuted);
   kv(out, "wall_seconds", r.wallSeconds);
+  // Scheduler pressure counters are tracked unconditionally, so they are
+  // exported even when full profiling is off.
+  kv(out, "sched_queue_peak", r.schedQueuePeak);
+  kv(out, "sched_total_dispatched", r.eventsExecuted);
   kv(out, "samples", static_cast<std::uint64_t>(r.series.size()));
+  if (r.profile.enabled) {
+    out += ",\"profile\":";
+    out += prof::toJson(r.profile);
+  }
   out += ",\"metrics\":";
   out += metricsJson(r.metrics, r.duration);
   out += '}';

@@ -11,7 +11,8 @@ Sampler::Sampler(net::Network& network, sim::Time period)
 
 void Sampler::start() {
   if (period_ <= sim::Time::zero()) return;
-  network_.scheduler().scheduleAfter(period_, [this] { probe(); });
+  network_.scheduler().scheduleAfter(
+      period_, [this] { probe(); }, prof::Category::kTelemetry);
 }
 
 void Sampler::probe() {
@@ -55,7 +56,8 @@ void Sampler::probe() {
   series_.linkBreaks.push_back(m.linkBreaksDetected - last_.linkBreaksDetected);
   last_ = m;
 
-  network_.scheduler().scheduleAfter(period_, [this] { probe(); });
+  network_.scheduler().scheduleAfter(
+      period_, [this] { probe(); }, prof::Category::kTelemetry);
 }
 
 }  // namespace manet::telemetry

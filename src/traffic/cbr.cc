@@ -9,7 +9,8 @@ CbrSource::CbrSource(net::RoutingAgent& agent, sim::Scheduler& sched,
     : agent_(agent), sched_(sched), params_(p) {
   assert(p.packetsPerSecond > 0.0);
   interval_ = sim::Time::fromSeconds(1.0 / p.packetsPerSecond);
-  sched_.scheduleAt(params_.start, [this] { tick(); });
+  sched_.scheduleAt(
+      params_.start, [this] { tick(); }, prof::Category::kTraffic);
 }
 
 void CbrSource::tick() {
@@ -21,7 +22,8 @@ void CbrSource::tick() {
           ? interval_
           : sim::Time::fromSeconds(
                 1.0 / (params_.packetsPerSecond * rateMultiplier_));
-  sched_.scheduleAfter(next, [this] { tick(); });
+  sched_.scheduleAfter(
+      next, [this] { tick(); }, prof::Category::kTraffic);
 }
 
 }  // namespace manet::traffic

@@ -162,7 +162,8 @@ void ReliableSender::armTimer() {
   sched_.cancel(timer_);
   timer_ = sim::kInvalidEvent;
   if (sndUna_ >= totalSegments_ || sndNext_ == sndUna_) return;
-  timer_ = sched_.scheduleAfter(rto_, [this] { onTimeout(); });
+  timer_ = sched_.scheduleAfter(
+      rto_, [this] { onTimeout(); }, prof::Category::kTransport);
 }
 
 void ReliableSender::onTimeout() {

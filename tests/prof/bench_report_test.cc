@@ -1,0 +1,140 @@
+// BENCH_*.json schema tests: serialize/parse round-trip and the regression
+// detector's contract (the ISSUE's injected-slowdown self-test: a 25%
+// slowdown must be flagged at a 20% threshold; a 10% one must pass).
+#include <gtest/gtest.h>
+
+#include "src/prof/bench_report.h"
+
+namespace manet::prof {
+namespace {
+
+BenchReport sampleReport() {
+  BenchReport r;
+  r.label = "seed";
+  BenchScenario s;
+  s.name = "paper_baseline";
+  s.repetitions = 3;
+  s.events = 123456;
+  s.wallSecondsMedian = 1.5;
+  s.eventsPerSecMedian = 82304.0;
+  s.wallSecondsAll = {1.6, 1.5, 1.7};
+  s.peakRssBytes = 40000000;
+  s.schedQueuePeak = 512;
+  s.categorySelfSeconds.emplace_back("mac", 0.6);
+  s.categorySelfSeconds.emplace_back("phy", 0.3);
+  r.scenarios.push_back(s);
+  s.name = "high_mobility";
+  s.wallSecondsMedian = 2.0;
+  r.scenarios.push_back(s);
+  return r;
+}
+
+TEST(BenchReportTest, RoundTrip) {
+  const BenchReport orig = sampleReport();
+  std::string err;
+  const auto parsed = parseBenchReport(toJson(orig), &err);
+  ASSERT_TRUE(parsed.has_value()) << err;
+  EXPECT_EQ(parsed->schemaVersion, kBenchSchemaVersion);
+  EXPECT_EQ(parsed->label, "seed");
+  ASSERT_EQ(parsed->scenarios.size(), 2u);
+  const BenchScenario& s = parsed->scenarios[0];
+  EXPECT_EQ(s.name, "paper_baseline");
+  EXPECT_EQ(s.repetitions, 3);
+  EXPECT_EQ(s.events, 123456u);
+  EXPECT_DOUBLE_EQ(s.wallSecondsMedian, 1.5);
+  EXPECT_DOUBLE_EQ(s.eventsPerSecMedian, 82304.0);
+  ASSERT_EQ(s.wallSecondsAll.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.wallSecondsAll[2], 1.7);
+  EXPECT_EQ(s.peakRssBytes, 40000000u);
+  EXPECT_EQ(s.schedQueuePeak, 512u);
+  ASSERT_EQ(s.categorySelfSeconds.size(), 2u);
+  // JsonObject is ordered by key: mac before phy either way here.
+  EXPECT_EQ(s.categorySelfSeconds[0].first, "mac");
+  EXPECT_DOUBLE_EQ(s.categorySelfSeconds[0].second, 0.6);
+}
+
+TEST(BenchReportTest, RejectsWrongSchemaVersion) {
+  std::string err;
+  const auto parsed =
+      parseBenchReport("{\"schema_version\":99,\"scenarios\":[]}", &err);
+  EXPECT_FALSE(parsed.has_value());
+  EXPECT_NE(err.find("schema_version"), std::string::npos);
+}
+
+TEST(BenchReportTest, RejectsMalformedJson) {
+  std::string err;
+  EXPECT_FALSE(parseBenchReport("{\"schema_version\":1,", &err).has_value());
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(BenchReportTest, FindByName) {
+  const BenchReport r = sampleReport();
+  ASSERT_NE(r.find("high_mobility"), nullptr);
+  EXPECT_EQ(r.find("high_mobility")->wallSecondsMedian, 2.0);
+  EXPECT_EQ(r.find("nope"), nullptr);
+}
+
+TEST(BenchCompareTest, FlagsInjectedSlowdownPastThreshold) {
+  const BenchReport base = sampleReport();
+  BenchReport cand = sampleReport();
+  cand.scenarios[0].wallSecondsMedian *= 1.25;  // 25% slower
+  cand.scenarios[1].wallSecondsMedian *= 1.10;  // 10% slower
+
+  const BenchComparison cmp = compareBenchReports(base, cand, 0.2);
+  ASSERT_EQ(cmp.rows.size(), 2u);
+  EXPECT_TRUE(cmp.rows[0].regressed);
+  EXPECT_NEAR(cmp.rows[0].wallRatio, 1.25, 1e-9);
+  EXPECT_FALSE(cmp.rows[1].regressed);
+  EXPECT_TRUE(cmp.regressed);
+}
+
+TEST(BenchCompareTest, PassesWithinThreshold) {
+  const BenchReport base = sampleReport();
+  BenchReport cand = sampleReport();
+  for (BenchScenario& s : cand.scenarios) s.wallSecondsMedian *= 1.1;
+  const BenchComparison cmp = compareBenchReports(base, cand, 0.2);
+  EXPECT_FALSE(cmp.regressed);
+}
+
+TEST(BenchCompareTest, SpeedupNeverRegresses) {
+  const BenchReport base = sampleReport();
+  BenchReport cand = sampleReport();
+  for (BenchScenario& s : cand.scenarios) s.wallSecondsMedian *= 0.5;
+  const BenchComparison cmp = compareBenchReports(base, cand, 0.0);
+  EXPECT_FALSE(cmp.regressed);
+}
+
+TEST(BenchCompareTest, ReportsMissingScenarios) {
+  const BenchReport base = sampleReport();
+  BenchReport cand = sampleReport();
+  cand.scenarios.pop_back();
+  BenchScenario extra;
+  extra.name = "brand_new";
+  extra.wallSecondsMedian = 1.0;
+  cand.scenarios.push_back(extra);
+
+  const BenchComparison cmp = compareBenchReports(base, cand, 0.2);
+  ASSERT_EQ(cmp.onlyInBaseline.size(), 1u);
+  EXPECT_EQ(cmp.onlyInBaseline[0], "high_mobility");
+  ASSERT_EQ(cmp.onlyInCandidate.size(), 1u);
+  EXPECT_EQ(cmp.onlyInCandidate[0], "brand_new");
+  // A vanished scenario is surfaced but is not itself a regression.
+  EXPECT_FALSE(cmp.regressed);
+}
+
+TEST(BenchCompareTest, FormatMentionsVerdicts) {
+  const BenchReport base = sampleReport();
+  BenchReport cand = sampleReport();
+  cand.scenarios[0].wallSecondsMedian *= 2.0;
+  const std::string text =
+      formatComparison(compareBenchReports(base, cand, 0.2));
+  EXPECT_NE(text.find("REGRESSED"), std::string::npos);
+  EXPECT_NE(text.find("REGRESSION DETECTED"), std::string::npos);
+  const std::string ok =
+      formatComparison(compareBenchReports(base, base, 0.2));
+  EXPECT_NE(ok.find("within threshold"), std::string::npos);
+  EXPECT_EQ(ok.find("REGRESSED"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace manet::prof
