@@ -51,7 +51,9 @@ void BM_RouteCacheInsert(benchmark::State& state) {
   core::RouteCache cache(0, 128);
   std::size_t i = 0;
   for (auto _ : state) {
-    cache.insert(paths[i % paths.size()], sim::Time::micros(++i));
+    ++i;
+    cache.insert(paths[i % paths.size()],
+                 sim::Time::micros(static_cast<std::int64_t>(i)));
     benchmark::DoNotOptimize(cache.size());
   }
   state.SetItemsProcessed(state.iterations());

@@ -1,7 +1,7 @@
 // General-purpose scenario driver: every knob of the simulation exposed as
 // a command-line flag. The tool a downstream user reaches for first.
 //
-//   $ ./run_scenario --nodes 100 --pause 0 --rate 3 --variant all \
+//   $ ./run_scenario --nodes 100 --pause 0 --rate 3 --variant all
 //                    --duration 120 --seeds 3 --csv out.csv
 //
 // Prints the paper's routing and cache metrics (mean over seeds).

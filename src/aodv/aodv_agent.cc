@@ -111,6 +111,7 @@ void AodvAgent::handleData(const net::PacketPtr& p, net::NodeId from) {
     if (metrics_) {
       ++metrics_->dataDelivered;
       metrics_->bytesDelivered += p->payloadBytes;
+      // manet-lint: allow(float-time): metrics-only delay sum; never read
       metrics_->delaySumSec += (sched_.now() - p->originatedAt).toSeconds();
     }
     return;

@@ -12,7 +12,7 @@
 
 #include <cstdint>
 #include <deque>
-#include <unordered_map>
+#include <map>
 #include <unordered_set>
 
 #include "src/aodv/aodv_config.h"
@@ -95,8 +95,11 @@ class AodvAgent final : public net::RoutingAgent {
 
   std::uint32_t ownSeq_ = 0;
   std::uint32_t rreqCounter_ = 0;
-  std::unordered_map<net::NodeId, RouteEntry> routes_;
-  std::unordered_map<net::NodeId, DiscoveryState> discovery_;
+  /// Ordered: invalidateVia/periodicSweep iterate these to build RERR
+  /// payloads and restart discoveries — both packet-emission order and RERR
+  /// contents are simulation-visible, so hash order must not decide them.
+  std::map<net::NodeId, RouteEntry> routes_;
+  std::map<net::NodeId, DiscoveryState> discovery_;
   core::SendBuffer sendBuf_;
   std::unordered_set<std::uint64_t> seenRreqs_;
   std::deque<std::uint64_t> seenRreqsFifo_;

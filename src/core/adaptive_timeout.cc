@@ -5,6 +5,8 @@
 namespace manet::core {
 
 void AdaptiveTimeout::onRouteBreak(sim::Time addedAt, sim::Time now) {
+  // manet-lint: allow(float-time): paper's alpha*avg-lifetime heuristic is
+  // defined over seconds; fixed-op IEEE-754 math, bit-stable per seed.
   const double lifetime = std::max(0.0, (now - addedAt).toSeconds());
   lifetimeSumSec_ += lifetime;
   ++samples_;
@@ -14,6 +16,7 @@ void AdaptiveTimeout::onRouteBreak(sim::Time addedAt, sim::Time now) {
 sim::Time AdaptiveTimeout::timeout(sim::Time now) const {
   const sim::Time sinceBreak = now - lastBreakAt_;
   const sim::Time fromLifetime =
+      // manet-lint: allow(float-time): same fixed-op heuristic as above
       sim::Time::fromSeconds(alpha_ * avgRouteLifetimeSec());
   return std::max({fromLifetime, sinceBreak, minTimeout_});
 }

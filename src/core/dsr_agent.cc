@@ -237,6 +237,7 @@ void DsrAgent::handleData(const net::PacketPtr& p) {
     if (metrics_) {
       ++metrics_->dataDelivered;
       metrics_->bytesDelivered += p->payloadBytes;
+      // manet-lint: allow(float-time): metrics-only delay sum; never read
       metrics_->delaySumSec += (sched_.now() - p->originatedAt).toSeconds();
     }
     tracePacketEvent(telemetry::TraceEvent::kPktDeliver, *p,
@@ -277,6 +278,7 @@ void DsrAgent::forwardData(const net::PacketPtr& p) {
 // ---------------------------------------------------------- route requests
 
 void DsrAgent::handleRequest(const net::PacketPtr& p, net::NodeId from) {
+  (void)from;  // route record, not MAC sender, names the previous hop
   assert(p->rreq);
   const net::RouteRequestHdr& req = *p->rreq;
   if (req.origin == self_) return;

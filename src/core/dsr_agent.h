@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <optional>
 #include <span>
 #include <unordered_map>
@@ -177,7 +178,10 @@ class DsrAgent final : public net::RoutingAgent {
   AdaptiveTimeout adaptive_;
   SendBuffer sendBuf_;
 
-  std::unordered_map<net::NodeId, DiscoveryState> discovery_;
+  /// Ordered: the periodic buffer sweep iterates this to restart stalled
+  /// discoveries, and the resulting RREQ emission order is
+  /// simulation-visible. Point-lookup-only sets below stay unordered.
+  std::map<net::NodeId, DiscoveryState> discovery_;
   std::unordered_set<std::uint64_t> seenRequests_;
   std::deque<std::uint64_t> seenRequestsFifo_;
   std::unordered_set<std::uint64_t> seenErrors_;

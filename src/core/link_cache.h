@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <map>
 #include <unordered_map>
 #include <vector>
 
@@ -48,8 +49,12 @@ class LinkCache final : public RouteCacheBase {
 
   net::NodeId owner_;
   std::size_t capacity_;
-  std::unordered_map<net::LinkId, LinkInfo, net::LinkIdHash> links_;
-  /// Forward adjacency for the BFS (kept in sync with links_).
+  /// Ordered so every whole-cache walk (eviction tie-breaks, expiry,
+  /// forEachRoute) sees links in (from, to) order on any standard library —
+  /// the eviction victim and visitor order are simulation-visible.
+  std::map<net::LinkId, LinkInfo> links_;
+  /// Forward adjacency for the BFS (kept in sync with links_; point lookups
+  /// only — neighbor order inside each vector is insertion order).
   std::unordered_map<net::NodeId, std::vector<net::NodeId>> adj_;
 };
 

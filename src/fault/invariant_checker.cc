@@ -10,6 +10,7 @@ namespace manet::fault {
 namespace {
 
 std::string timeStr(sim::Time t) {
+  // manet-lint: allow(float-time): violation-message formatting only
   return "t=" + std::to_string(t.toSeconds()) + "s";
 }
 

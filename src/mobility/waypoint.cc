@@ -24,6 +24,8 @@ RandomWaypoint::RandomWaypoint(sim::Rng rng, const Params& p) {
     const Vec2 dest = randomPoint();
     const double speed = rng.uniform(p.minSpeed, p.maxSpeed);
     const double dist = distance(pos, dest);
+    // manet-lint: allow(float-time): kinematics are inherently real-valued;
+    // fixed-op conversion, same seed -> same leg schedule.
     const sim::Time travel = sim::Time::fromSeconds(dist / speed);
     legs_.push_back(Leg{t, t + travel, pos, dest});
     t += travel;
@@ -45,8 +47,9 @@ Vec2 RandomWaypoint::positionAt(sim::Time t) const {
       [](sim::Time v, const Leg& leg) { return v < leg.end; });
   const Leg& leg = *it;
   if (leg.end == leg.start) return leg.from;
-  const double frac = (t - leg.start).toSeconds() /
-                      (leg.end - leg.start).toSeconds();
+  // manet-lint: allow(float-time): position interpolation is real-valued
+  const double frac =
+      (t - leg.start).toSeconds() / (leg.end - leg.start).toSeconds();
   return leg.from + (leg.to - leg.from) * frac;
 }
 

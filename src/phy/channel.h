@@ -59,6 +59,8 @@ class Channel {
   /// Airtime for a frame of `bytes` bytes, including PHY overhead.
   sim::Time txDuration(std::uint32_t bytes) const {
     return cfg_.phyOverhead +
+           // manet-lint: allow(float-time): airtime from a constant bit rate;
+           // fixed-op, same inputs -> same duration on every host.
            sim::Time::fromSeconds(static_cast<double>(bytes) * 8.0 /
                                   cfg_.bitRateBps);
   }

@@ -120,6 +120,10 @@ double LatencyHistogram::percentileNs(double p) const {
 
 namespace {
 
+// Audited: src/prof/ is exempt from the manet_lint wall-clock rule by
+// design — this is the single funnel for host-time reads, and the values
+// only ever flow into reports (self-time, heartbeat ETA), never back into
+// scheduling, RNG draws, or any simulation decision.
 std::uint64_t steadyNowNs() {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(

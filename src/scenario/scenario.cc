@@ -161,8 +161,14 @@ Scenario::~Scenario() {
 }
 
 RunResult Scenario::run() {
+  // Audited: these are the only wall-clock reads outside src/prof//bench/.
+  // They bracket the whole run and land solely in RunResult::wallSeconds,
+  // which is excluded from deterministic exports; no simulation decision
+  // ever reads them. All simulated time comes from Scheduler::now().
+  // manet-lint: allow(wall-clock): run timing for reports only
   const auto wallStart = std::chrono::steady_clock::now();
   network_->run(cfg_.duration);
+  // manet-lint: allow(wall-clock): run timing for reports only
   const auto wallEnd = std::chrono::steady_clock::now();
   network_->tracer().flush();
   RunResult r;

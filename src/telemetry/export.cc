@@ -88,17 +88,18 @@ std::string metricsJson(const metrics::Metrics& m, sim::Time duration) {
   return out;
 }
 
-std::string runResultJson(const scenario::RunResult& r) {
+std::string runResultJson(const scenario::RunResult& r,
+                          bool includeVolatile) {
   std::string out = "{";
   kv(out, "duration_s", r.duration.toSeconds(), /*first=*/true);
   kv(out, "events_executed", r.eventsExecuted);
-  kv(out, "wall_seconds", r.wallSeconds);
+  if (includeVolatile) kv(out, "wall_seconds", r.wallSeconds);
   // Scheduler pressure counters are tracked unconditionally, so they are
   // exported even when full profiling is off.
   kv(out, "sched_queue_peak", r.schedQueuePeak);
   kv(out, "sched_total_dispatched", r.eventsExecuted);
   kv(out, "samples", static_cast<std::uint64_t>(r.series.size()));
-  if (r.profile.enabled) {
+  if (includeVolatile && r.profile.enabled) {
     out += ",\"profile\":";
     out += prof::toJson(r.profile);
   }

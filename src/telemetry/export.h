@@ -19,8 +19,13 @@ namespace manet::telemetry {
 /// object.
 std::string metricsJson(const metrics::Metrics& m, sim::Time duration);
 
-/// One run: duration, event count, wall time, metrics.
-std::string runResultJson(const scenario::RunResult& r);
+/// One run: duration, event count, wall time, metrics. When
+/// `includeVolatile` is false, host-dependent fields (wall_seconds and the
+/// wall-time profile block) are omitted so two same-seed runs — in the same
+/// process or separate ones — must produce byte-identical JSON; the replay
+/// regression test diffs exactly this form.
+std::string runResultJson(const scenario::RunResult& r,
+                          bool includeVolatile = true);
 
 /// A replicated experiment: label, scenario parameters, per-metric
 /// aggregate statistics (mean/stddev/min/max/n) and every run's metrics.

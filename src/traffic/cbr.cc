@@ -8,6 +8,7 @@ CbrSource::CbrSource(net::RoutingAgent& agent, sim::Scheduler& sched,
                      const Params& p)
     : agent_(agent), sched_(sched), params_(p) {
   assert(p.packetsPerSecond > 0.0);
+  // manet-lint: allow(float-time): rate -> interval, fixed-op conversion
   interval_ = sim::Time::fromSeconds(1.0 / p.packetsPerSecond);
   sched_.scheduleAt(
       params_.start, [this] { tick(); }, prof::Category::kTraffic);
@@ -20,6 +21,7 @@ void CbrSource::tick() {
   const sim::Time next =
       rateMultiplier_ == 1.0
           ? interval_
+          // manet-lint: allow(float-time): surge rate -> interval, fixed-op
           : sim::Time::fromSeconds(
                 1.0 / (params_.packetsPerSecond * rateMultiplier_));
   sched_.scheduleAfter(

@@ -70,6 +70,7 @@ void ReliableSender::start() {
 double ReliableSender::goodputKbps(sim::Time now) const {
   // For a finished transfer, measure over the actual transfer duration.
   const sim::Time end = finishedAt_ ? std::min(*finishedAt_, now) : now;
+  // manet-lint: allow(float-time): goodput reporting only; never fed back
   const double secs = (end - startedAt_).toSeconds();
   if (secs <= 0.0) return 0.0;
   return static_cast<double>(sndUna_) * cfg_.segmentBytes * 8.0 / 1000.0 /
@@ -184,6 +185,8 @@ void ReliableSender::onTimeout() {
 }
 
 void ReliableSender::updateRtt(sim::Time sample) {
+  // manet-lint: allow(float-time): Jacobson/Karels SRTT/RTTVAR estimator is
+  // defined over real seconds; fixed-op math, bit-stable per seed.
   const double r = sample.toSeconds();
   if (!rttValid_) {
     srttSec_ = r;
@@ -195,6 +198,7 @@ void ReliableSender::updateRtt(sim::Time sample) {
     srttSec_ = 0.875 * srttSec_ + 0.125 * r;
   }
   const double rtoSec = srttSec_ + 4.0 * rttvarSec_;
+  // manet-lint: allow(float-time): RTO from the estimator above, fixed-op
   rto_ = std::clamp(sim::Time::fromSeconds(rtoSec), cfg_.minRto, cfg_.maxRto);
 }
 

@@ -157,8 +157,8 @@ INSTANTIATE_TEST_SUITE_P(
     CacheStrategies, CheckedChurnTest,
     ::testing::Values(core::Variant::kWiderError, core::Variant::kAdaptiveExpiry,
                       core::Variant::kNegCache),
-    [](const ::testing::TestParamInfo<core::Variant>& info) {
-      return core::toString(info.param);
+    [](const ::testing::TestParamInfo<core::Variant>& paramInfo) {
+      return core::toString(paramInfo.param);
     });
 
 TEST(InvariantCheckerTest, AllFaultClassesTogetherStayConsistent) {

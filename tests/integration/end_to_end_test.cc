@@ -113,8 +113,8 @@ INSTANTIATE_TEST_SUITE_P(
                       core::Variant::kStaticExpiry,
                       core::Variant::kAdaptiveExpiry,
                       core::Variant::kNegCache, core::Variant::kAll),
-    [](const ::testing::TestParamInfo<core::Variant>& info) {
-      return core::toString(info.param);
+    [](const ::testing::TestParamInfo<core::Variant>& paramInfo) {
+      return core::toString(paramInfo.param);
     });
 
 }  // namespace

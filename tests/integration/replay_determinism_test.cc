@@ -1,0 +1,66 @@
+// Cross-process bit-identical replay: the same seeds must produce the same
+// structured run export from two independent OS processes. In-process
+// double-run tests (determinism_test.cc) cannot catch state leaking through
+// process-global variables, hash randomization, or allocator layout; this
+// one can. The export diffed here is the deterministic (volatile-free) run
+// JSON plus the sampled time-series CSV, byte for byte.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::string runOnce(const std::string& outBase, const std::string& seed) {
+  const std::string cmd =
+      std::string(REPLAY_RUNNER_PATH) + " " + outBase + " " + seed;
+  EXPECT_EQ(std::system(cmd.c_str()), 0) << cmd;
+  return outBase;
+}
+
+}  // namespace
+
+TEST(ReplayDeterminismTest, SeparateProcessesProduceByteIdenticalExport) {
+  const std::string dir = ::testing::TempDir();
+  runOnce(dir + "replay_a", "4242");
+  runOnce(dir + "replay_b", "4242");
+
+  const std::string jsonA = slurp(dir + "replay_a.json");
+  const std::string jsonB = slurp(dir + "replay_b.json");
+  ASSERT_FALSE(jsonA.empty());
+  // Sanity: the export really carries the simulation's results.
+  EXPECT_NE(jsonA.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(jsonA.find("\"events_executed\""), std::string::npos);
+  // And really excludes host-dependent fields.
+  EXPECT_EQ(jsonA.find("wall_seconds"), std::string::npos);
+  EXPECT_EQ(jsonA, jsonB) << "deterministic run JSON diverged across "
+                             "processes";
+
+  const std::string seriesA = slurp(dir + "replay_a.series.csv");
+  const std::string seriesB = slurp(dir + "replay_b.series.csv");
+  ASSERT_FALSE(seriesA.empty());
+  EXPECT_EQ(seriesA, seriesB) << "sampled time series diverged across "
+                                 "processes";
+}
+
+TEST(ReplayDeterminismTest, DifferentSeedDiverges) {
+  const std::string dir = ::testing::TempDir();
+  runOnce(dir + "replay_c", "4242");
+  runOnce(dir + "replay_d", "4243");
+  const std::string a = slurp(dir + "replay_c.json");
+  const std::string b = slurp(dir + "replay_d.json");
+  ASSERT_FALSE(a.empty());
+  ASSERT_FALSE(b.empty());
+  // A different world must not accidentally byte-match — otherwise the
+  // equality assertion above would be vacuous.
+  EXPECT_NE(a, b);
+}

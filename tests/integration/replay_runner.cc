@@ -1,0 +1,54 @@
+// Helper binary for the cross-process replay regression test: runs the
+// scaled paper-baseline scenario (random-waypoint field, CBR flows, node
+// churn) once and writes the deterministic structured run export — the
+// volatile-free run JSON plus the sampled time series CSV. The companion
+// gtest launches this binary twice, in two separate processes, and requires
+// both artifacts to match byte-for-byte: the strongest end-to-end statement
+// of "bit-identical replay" the repo can make.
+//
+//   replay_runner <out-base> [mobilitySeed]
+//
+// Writes <out-base>.json and <out-base>.series.csv.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/scenario/scenario.h"
+#include "src/telemetry/export.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: replay_runner <out-base> [mobilitySeed]\n");
+    return 2;
+  }
+  const std::string outBase = argv[1];
+
+  using namespace manet;
+  scenario::ScenarioConfig c;
+  // Scaled paper baseline: same field shape and traffic style as Marina &
+  // Das's 50-node/1500x300m setup, shrunk to keep the test under a couple
+  // of seconds while still exercising discovery, caching, salvaging,
+  // sampling and fault handling.
+  c.numNodes = 25;
+  c.field = {1000.0, 300.0};
+  c.numFlows = 8;
+  c.packetsPerSecond = 3.0;
+  c.duration = sim::Time::seconds(60);
+  c.mobilitySeed =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 4242;
+  c.telemetry.samplePeriod = sim::Time::seconds(2);
+  c.fault.churn.fraction = 0.15;
+  c.fault.churn.meanUpTimeSec = 20.0;
+  c.fault.churn.meanDownTimeSec = 4.0;
+  c.fault.seed = 99;
+
+  const scenario::RunResult r = scenario::runScenario(c);
+  const std::string json =
+      telemetry::runResultJson(r, /*includeVolatile=*/false) + "\n";
+  if (!telemetry::writeFile(outBase + ".json", json)) return 1;
+  if (!telemetry::writeFile(outBase + ".series.csv",
+                            telemetry::seriesCsv(r.series))) {
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,277 @@
+// Rule-by-rule coverage for the determinism linter: every rule gets a
+// positive hit, an allowlisted suppression, and a clean file; plus the
+// allow-syntax meta rules and the lexer's comment/string immunity.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "tools/manet_lint/lint.h"
+
+namespace manet::lint {
+namespace {
+
+bool hasRule(const std::vector<Finding>& fs, const std::string& rule) {
+  return std::any_of(fs.begin(), fs.end(),
+                     [&](const Finding& f) { return f.rule == rule; });
+}
+
+int lineOf(const std::vector<Finding>& fs, const std::string& rule) {
+  for (const Finding& f : fs) {
+    if (f.rule == rule) return f.line;
+  }
+  return -1;
+}
+
+// ------------------------------------------------------------------ raw-rng
+
+TEST(ManetLintTest, RawRngFlagsRandCall) {
+  const auto fs = lintSource("src/core/x.cc", "int f() { return rand(); }\n");
+  ASSERT_TRUE(hasRule(fs, "raw-rng"));
+  EXPECT_EQ(lineOf(fs, "raw-rng"), 1);
+}
+
+TEST(ManetLintTest, RawRngFlagsSrandAndRandomDevice) {
+  EXPECT_TRUE(hasRule(lintSource("src/net/x.cc", "void f() { srand(7); }\n"),
+                      "raw-rng"));
+  EXPECT_TRUE(hasRule(
+      lintSource("tests/foo_test.cc", "std::random_device rd;\n"),
+      "raw-rng"));
+}
+
+TEST(ManetLintTest, RawRngAllowedInRngTranslationUnit) {
+  EXPECT_TRUE(lintSource("src/sim/rng.cc", "int x = rand();\n").empty());
+  EXPECT_TRUE(lintSource("src/sim/rng.h", "int x = rand();\n").empty());
+}
+
+TEST(ManetLintTest, RawRngSuppressedWithJustification) {
+  const auto fs = lintSource(
+      "src/core/x.cc",
+      "// manet-lint: allow(raw-rng): documented seeding example\n"
+      "int f() { return rand(); }\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(ManetLintTest, OperandDoesNotTriggerRawRng) {
+  EXPECT_TRUE(
+      lintSource("src/core/x.cc", "int operand(int a) { return a; }\n")
+          .empty());
+}
+
+// --------------------------------------------------------------- wall-clock
+
+TEST(ManetLintTest, WallClockFlagsSteadyClockOutsideProf) {
+  const auto fs = lintSource(
+      "src/mac/x.cc", "auto t = std::chrono::steady_clock::now();\n");
+  EXPECT_TRUE(hasRule(fs, "wall-clock"));
+}
+
+TEST(ManetLintTest, WallClockExemptInProfAndBench) {
+  EXPECT_TRUE(
+      lintSource("src/prof/x.cc",
+                 "auto t = std::chrono::steady_clock::now();\n")
+          .empty());
+  EXPECT_TRUE(
+      lintSource("bench/x.cc",
+                 "auto t = std::chrono::high_resolution_clock::now();\n")
+          .empty());
+}
+
+TEST(ManetLintTest, WallClockSuppressible) {
+  const auto fs = lintSource(
+      "src/scenario/x.cc",
+      "// manet-lint: allow(wall-clock): report-only wall timing\n"
+      "auto t = std::chrono::steady_clock::now();\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+// ----------------------------------------------------------- unordered-iter
+
+TEST(ManetLintTest, UnorderedIterFlagsRangedFor) {
+  const auto fs = lintSource(
+      "src/core/x.cc",
+      "std::unordered_map<int, int> m_;\n"
+      "void f() { for (auto& [k, v] : m_) { (void)k; (void)v; } }\n");
+  ASSERT_TRUE(hasRule(fs, "unordered-iter"));
+  EXPECT_EQ(lineOf(fs, "unordered-iter"), 2);
+}
+
+TEST(ManetLintTest, UnorderedIterFlagsBeginCall) {
+  const auto fs = lintSource("src/sim/x.cc",
+                             "std::unordered_set<int> s_;\n"
+                             "auto f() { return s_.begin(); }\n");
+  EXPECT_TRUE(hasRule(fs, "unordered-iter"));
+}
+
+TEST(ManetLintTest, UnorderedIterSeesDeclarationInPairedHeader) {
+  const auto fs = lintSource(
+      "src/mac/x.cc", "void C::f() { for (auto& e : tbl_) { (void)e; } }\n",
+      "class C { std::unordered_map<int, long> tbl_; };\n");
+  EXPECT_TRUE(hasRule(fs, "unordered-iter"));
+}
+
+TEST(ManetLintTest, UnorderedIterIgnoresPointLookupsAndOrderedMaps) {
+  EXPECT_TRUE(lintSource("src/core/x.cc",
+                         "std::unordered_map<int, int> m_;\n"
+                         "bool f(int k) { return m_.find(k) != m_.end(); }\n")
+                  .empty());
+  EXPECT_TRUE(lintSource("src/core/x.cc",
+                         "std::map<int, int> m_;\n"
+                         "void f() { for (auto& e : m_) { (void)e; } }\n")
+                  .empty());
+}
+
+TEST(ManetLintTest, UnorderedIterOutOfScopeInReportingLayers) {
+  const auto fs = lintSource(
+      "src/telemetry/x.cc",
+      "std::unordered_map<int, int> m_;\n"
+      "void f() { for (auto& e : m_) { (void)e; } }\n");
+  EXPECT_FALSE(hasRule(fs, "unordered-iter"));
+}
+
+TEST(ManetLintTest, UnorderedIterSuppressible) {
+  const auto fs = lintSource(
+      "src/core/x.cc",
+      "std::unordered_set<int> s_;\n"
+      "// manet-lint: allow(unordered-iter): order-insensitive sum\n"
+      "int f() { int t = 0; for (int v : s_) t += v; return t; }\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+// ----------------------------------------------------------- sched-category
+
+TEST(ManetLintTest, SchedCategoryFlagsUntaggedCall) {
+  const auto fs = lintSource(
+      "src/traffic/x.cc",
+      "void f(sim::Scheduler& s) {\n"
+      "  s.scheduleAt(sim::Time::seconds(1), [] {});\n"
+      "}\n");
+  ASSERT_TRUE(hasRule(fs, "sched-category"));
+  EXPECT_EQ(lineOf(fs, "sched-category"), 2);
+}
+
+TEST(ManetLintTest, SchedCategoryAcceptsTaggedMultiLineCall) {
+  const auto fs = lintSource(
+      "src/fault/x.cc",
+      "void f(sim::Scheduler& s) {\n"
+      "  s.scheduleAfter(\n"
+      "      sim::Time::seconds(1),\n"
+      "      [] { /* handler */ },\n"
+      "      prof::Category::kFault);\n"
+      "}\n");
+  EXPECT_FALSE(hasRule(fs, "sched-category"));
+}
+
+TEST(ManetLintTest, SchedCategoryIgnoresDeclarationsAndOtherIdentifiers) {
+  // The declaration in scheduler.h-style code mentions std::function.
+  EXPECT_FALSE(hasRule(
+      lintSource("src/net/x.h",
+                 "EventId scheduleAt(Time at, std::function<void()> fn,\n"
+                 "                   prof::Category cat);\n"),
+      "sched-category"));
+  EXPECT_FALSE(hasRule(
+      lintSource("src/mac/x.cc", "void g() { scheduleAttempt(); }\n"),
+      "sched-category"));
+}
+
+TEST(ManetLintTest, SchedCategoryNotEnforcedOutsideLibraryCode) {
+  const auto fs = lintSource(
+      "tests/foo_test.cc",
+      "void f(sim::Scheduler& s) {\n"
+      "  s.scheduleAt(sim::Time::seconds(1), [] {});\n"
+      "}\n");
+  EXPECT_FALSE(hasRule(fs, "sched-category"));
+}
+
+// --------------------------------------------------------------- float-time
+
+TEST(ManetLintTest, FloatTimeFlagsToSecondsInSimCore) {
+  EXPECT_TRUE(hasRule(
+      lintSource("src/mac/x.cc",
+                 "double f(sim::Time t) { return t.toSeconds(); }\n"),
+      "float-time"));
+  EXPECT_TRUE(hasRule(
+      lintSource("src/phy/x.cc",
+                 "auto t = sim::Time::fromSeconds(0.5);\n"),
+      "float-time"));
+}
+
+TEST(ManetLintTest, FloatTimeFreeInReportingLayers) {
+  EXPECT_TRUE(
+      lintSource("src/metrics/x.cc",
+                 "double f(sim::Time t) { return t.toSeconds(); }\n")
+          .empty());
+}
+
+TEST(ManetLintTest, FloatTimeMultiLineJustificationStillSuppresses) {
+  const auto fs = lintSource(
+      "src/transport/x.cc",
+      "double f(sim::Time t) {\n"
+      "  // manet-lint: allow(float-time): RTT estimator is defined over\n"
+      "  // real seconds; fixed-op math, bit-stable per seed.\n"
+      "  return t.toSeconds();\n"
+      "}\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+// --------------------------------------------------------- iostream-include
+
+TEST(ManetLintTest, IostreamFlaggedInSrcOnly) {
+  EXPECT_TRUE(hasRule(lintSource("src/util/x.cc", "#include <iostream>\n"),
+                      "iostream-include"));
+  EXPECT_TRUE(lintSource("examples/x.cpp", "#include <iostream>\n").empty());
+  EXPECT_TRUE(lintSource("tests/x.cc", "#include <iostream>\n").empty());
+}
+
+// ------------------------------------------------------------ allow syntax
+
+TEST(ManetLintTest, BareAllowIsItselfAFindingAndDoesNotSuppress) {
+  const auto fs = lintSource("src/core/x.cc",
+                             "// manet-lint: allow(raw-rng)\n"
+                             "int f() { return rand(); }\n");
+  EXPECT_TRUE(hasRule(fs, "bare-allow"));
+  EXPECT_TRUE(hasRule(fs, "raw-rng"));
+}
+
+TEST(ManetLintTest, UnknownRuleInAllowIsFlagged) {
+  const auto fs = lintSource(
+      "src/core/x.cc", "// manet-lint: allow(raw-rgn): typo\nint x;\n");
+  EXPECT_TRUE(hasRule(fs, "unknown-rule"));
+}
+
+TEST(ManetLintTest, AllowListsMultipleRules) {
+  const auto fs = lintSource(
+      "src/core/x.cc",
+      "// manet-lint: allow(raw-rng, float-time): doc example of both\n"
+      "double f(sim::Time t) { return rand() * t.toSeconds(); }\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+// ------------------------------------------------------------------- lexer
+
+TEST(ManetLintTest, CommentsAndStringsAreNotMatched) {
+  EXPECT_TRUE(lintSource("src/core/x.cc",
+                         "// rand() and steady_clock are banned here\n"
+                         "/* for (auto& e : someUnorderedMap) */\n"
+                         "const char* s = \"rand() steady_clock\";\n")
+                  .empty());
+}
+
+// ------------------------------------------------------------------- misc
+
+TEST(ManetLintTest, FormatFindingIsGrepable) {
+  const Finding f{"src/core/x.cc", 12, "raw-rng", "msg"};
+  EXPECT_EQ(formatFinding(f), "src/core/x.cc:12: [raw-rng] msg");
+}
+
+TEST(ManetLintTest, EveryRuleHasARationale) {
+  for (const RuleInfo& r : rules()) {
+    EXPECT_FALSE(ruleRationale(r.id).empty()) << r.id;
+  }
+}
+
+TEST(ManetLintTest, SelfTestPasses) { EXPECT_EQ(runSelfTest(), 0); }
+
+}  // namespace
+}  // namespace manet::lint

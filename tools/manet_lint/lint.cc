@@ -1,0 +1,725 @@
+#include "tools/manet_lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+
+namespace manet::lint {
+namespace {
+
+// ------------------------------------------------------------------ rules
+
+const std::vector<RuleInfo> kRules = {
+    {"raw-rng",
+     "rand()/srand()/std::random_device outside src/sim/rng.*",
+     "Every random draw must come from a named sim::Rng stream so runs are "
+     "replayable from the scenario seeds alone. rand() is process-global "
+     "state and std::random_device is nondeterministic by design; either one "
+     "makes same-seed replay impossible."},
+    {"wall-clock",
+     "wall/steady clock reads outside src/prof/ and bench/",
+     "Simulated time comes only from Scheduler::now(). A wall-clock read in "
+     "simulation code couples results to host speed and scheduling; profiling "
+     "(src/prof/) and benchmarks (bench/) are the only layers that may time "
+     "the host, and they must never feed the value back into the sim."},
+    {"unordered-iter",
+     "iteration over std::unordered_{map,set} in simulation-visible code",
+     "Hash-table iteration order is unspecified and differs across standard "
+     "libraries; if it reaches scheduling, RNG draws, or packet emission "
+     "order, replay is only accidentally reproducible. Point lookups are "
+     "fine; loops must use std::map / sorted vectors, or be allowlisted with "
+     "a proof that order cannot escape."},
+    {"sched-category",
+     "Scheduler::scheduleAt/scheduleAfter call without a prof::Category tag",
+     "The profiler attributes wall time per event category; an untagged call "
+     "site lands in kOther and hides its cost. Library code must state the "
+     "category explicitly at every schedule call."},
+    {"float-time",
+     "sim::Time <-> floating point round-trips in simulation-core code",
+     "sim::Time is integer nanoseconds precisely so event ordering has no "
+     "floating-point drift. toSeconds()/fromSeconds() in core simulation "
+     "logic reintroduce rounding; keep float math in reporting layers, or "
+     "allowlist fixed-operation uses that are bit-stable per IEEE-754."},
+    {"iostream-include",
+     "#include <iostream> in library code (src/)",
+     "iostream drags in global constructors and encourages ad-hoc stdout "
+     "writes from library code; use util::log (captured by telemetry) or "
+     "return data to the caller. Binaries under bench/, examples/, tests/ "
+     "may print freely."},
+    {"bare-allow",
+     "manet-lint allow() comment without a justification",
+     "Every suppression must record why the flagged construct cannot perturb "
+     "the simulation: '// manet-lint: allow(<rule>): <reason>'."},
+    {"unknown-rule",
+     "manet-lint allow() naming a rule the linter does not know",
+     "A typo in the rule id would silently suppress nothing; name one of the "
+     "ids listed by --list-rules."},
+};
+
+// Directories (repo-relative prefixes) where hash-order iteration or
+// float/time round-trips are simulation-visible: anything that schedules
+// events, emits packets, or mutates protocol state. Reporting-only layers
+// (telemetry, metrics, prof, util, scenario export) are exempt.
+const char* kSimCoreDirs[] = {"src/core/", "src/mac/",       "src/net/",
+                              "src/sim/",  "src/aodv/",      "src/transport/",
+                              "src/phy/",  "src/traffic/",   "src/mobility/",
+                              "src/fault/"};
+
+bool startsWith(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool inSimCore(const std::string& path) {
+  return std::any_of(std::begin(kSimCoreDirs), std::end(kSimCoreDirs),
+                     [&](const char* d) { return startsWith(path, d); });
+}
+
+// ------------------------------------------------------------------ lexer
+
+struct Lexed {
+  /// Input with comment bodies and string/char-literal contents replaced by
+  /// spaces; same length and newlines, so line/column arithmetic matches.
+  std::string code;
+  /// Per-character class: 'n' code, 'c' comment, 's' string/char literal.
+  std::string mask;
+};
+
+Lexed stripCommentsAndLiterals(const std::string& in) {
+  Lexed lx{in, std::string(in.size(), 'n')};
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    if (in[i] == '\n') lx.mask[i] = '\n';  // keep line structure in the mask
+  }
+  const auto blank = [&](std::size_t i, char kind) {
+    if (in[i] == '\n') return;  // never overwrite line breaks
+    lx.code[i] = ' ';
+    lx.mask[i] = kind;
+  };
+  enum class St { kCode, kLine, kBlock, kStr, kChar, kRaw };
+  St st = St::kCode;
+  std::string rawDelim;  // for R"delim( ... )delim"
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const char c = in[i];
+    const char next = i + 1 < in.size() ? in[i + 1] : '\0';
+    switch (st) {
+      case St::kCode:
+        if (c == '/' && next == '/') {
+          st = St::kLine;
+          blank(i, 'c');
+          blank(i + 1, 'c');
+          ++i;
+        } else if (c == '/' && next == '*') {
+          st = St::kBlock;
+          blank(i, 'c');
+          blank(i + 1, 'c');
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                   in[i - 1])) &&
+                               in[i - 1] != '_'))) {
+          st = St::kRaw;
+          rawDelim.clear();
+          std::size_t j = i + 2;
+          while (j < in.size() && in[j] != '(') rawDelim += in[j++];
+          rawDelim = ")" + rawDelim + "\"";
+          for (std::size_t k = i; k <= j && k < in.size(); ++k) blank(k, 's');
+          i = j;
+        } else if (c == '"') {
+          st = St::kStr;
+          lx.mask[i] = 's';  // keep the quote visible in code
+        } else if (c == '\'') {
+          st = St::kChar;
+          lx.mask[i] = 's';
+        }
+        break;
+      case St::kLine:
+        if (c == '\n') {
+          st = St::kCode;
+        } else {
+          blank(i, 'c');
+        }
+        break;
+      case St::kBlock:
+        if (c == '*' && next == '/') {
+          st = St::kCode;
+          blank(i, 'c');
+          blank(i + 1, 'c');
+          ++i;
+        } else {
+          blank(i, 'c');
+        }
+        break;
+      case St::kStr:
+        if (c == '\\') {
+          blank(i, 's');
+          if (next != '\n' && i + 1 < in.size()) {
+            blank(i + 1, 's');
+            ++i;
+          }
+        } else if (c == '"') {
+          st = St::kCode;
+          lx.mask[i] = 's';
+        } else {
+          blank(i, 's');
+        }
+        break;
+      case St::kChar:
+        if (c == '\\') {
+          blank(i, 's');
+          if (i + 1 < in.size() && next != '\n') {
+            blank(i + 1, 's');
+            ++i;
+          }
+        } else if (c == '\'') {
+          st = St::kCode;
+          lx.mask[i] = 's';
+        } else {
+          blank(i, 's');
+        }
+        break;
+      case St::kRaw:
+        if (in.compare(i, rawDelim.size(), rawDelim) == 0) {
+          for (std::size_t k = 0; k < rawDelim.size(); ++k) {
+            blank(i + k, 's');
+          }
+          i += rawDelim.size() - 1;
+          st = St::kCode;
+        } else {
+          blank(i, 's');
+        }
+        break;
+    }
+  }
+  return lx;
+}
+
+std::vector<std::string> splitLines(const std::string& s) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : s) {
+    if (c == '\n') {
+      lines.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  lines.push_back(std::move(cur));
+  return lines;
+}
+
+// ------------------------------------------------------------- allowlist
+
+struct Allow {
+  std::set<std::string> ruleIds;
+  bool hasJustification = false;
+};
+
+/// Parse "// manet-lint: allow(a, b): reason" comments from the raw lines.
+/// Keyed by 1-based line number. Only markers whose text sits inside an
+/// actual comment count — the same byte sequence inside a string literal
+/// (e.g. in the linter's own tests) is data, not a directive; the lexer's
+/// per-char mask tells the two apart.
+std::map<int, Allow> parseAllows(const std::vector<std::string>& rawLines,
+                                 const std::vector<std::string>& maskLines,
+                                 const std::string& relPath,
+                                 std::vector<Finding>* meta) {
+  static const std::regex kAllowRe(
+      R"(manet-lint:\s*allow\(([A-Za-z0-9_,\s-]*)\)\s*:?\s*(.*))");
+  std::map<int, Allow> allows;
+  for (std::size_t i = 0; i < rawLines.size(); ++i) {
+    std::smatch m;
+    if (!std::regex_search(rawLines[i], m, kAllowRe)) continue;
+    const auto pos = static_cast<std::size_t>(m.position(0));
+    if (i >= maskLines.size() || pos >= maskLines[i].size() ||
+        maskLines[i][pos] != 'c') {
+      continue;
+    }
+    Allow a;
+    std::stringstream ids(m[1].str());
+    std::string id;
+    while (std::getline(ids, id, ',')) {
+      id.erase(std::remove_if(id.begin(), id.end(),
+                              [](unsigned char c) { return std::isspace(c); }),
+               id.end());
+      if (id.empty()) continue;
+      if (!knownRule(id)) {
+        meta->push_back({relPath, static_cast<int>(i + 1), "unknown-rule",
+                         "allow() names unknown rule '" + id + "'"});
+        continue;
+      }
+      a.ruleIds.insert(id);
+    }
+    std::string why = m[2].str();
+    a.hasJustification =
+        why.find_first_not_of(" \t:") != std::string::npos;
+    if (!a.hasJustification) {
+      meta->push_back({relPath, static_cast<int>(i + 1), "bare-allow",
+                       "allow() comment needs a justification: "
+                       "'// manet-lint: allow(<rule>): <reason>'"});
+    }
+    allows[static_cast<int>(i + 1)] = std::move(a);
+  }
+  return allows;
+}
+
+/// An allow comment on a pure-comment line covers the next line too, so a
+/// multi-line justification block still reaches the code under it: walk the
+/// lines and let a justified allow ride down while the line carrying it has
+/// no code of its own.
+void propagateAllows(const std::vector<std::string>& codeLines,
+                     std::map<int, Allow>* allows) {
+  for (std::size_t i = 0; i < codeLines.size(); ++i) {
+    const int line = static_cast<int>(i + 1);
+    auto it = allows->find(line);
+    if (it == allows->end() || !it->second.hasJustification) continue;
+    const bool pureComment =
+        codeLines[i].find_first_not_of(" \t") == std::string::npos;
+    if (!pureComment) continue;
+    Allow& next = (*allows)[line + 1];
+    if (next.ruleIds.empty()) next.hasJustification = true;
+    next.ruleIds.insert(it->second.ruleIds.begin(),
+                        it->second.ruleIds.end());
+  }
+}
+
+bool isAllowed(const std::map<int, Allow>& allows, int line,
+               const std::string& rule) {
+  for (int l : {line, line - 1}) {
+    auto it = allows.find(l);
+    if (it != allows.end() && it->second.hasJustification &&
+        it->second.ruleIds.count(rule)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// ------------------------------------------------------ per-rule matching
+
+struct LineRule {
+  const char* id;
+  std::regex re;
+  const char* message;
+};
+
+void applyLineRules(const std::vector<LineRule>& lineRules,
+                    const std::vector<std::string>& codeLines,
+                    const std::map<int, Allow>& allows,
+                    const std::string& relPath, std::vector<Finding>* out) {
+  for (std::size_t i = 0; i < codeLines.size(); ++i) {
+    const int line = static_cast<int>(i + 1);
+    for (const LineRule& r : lineRules) {
+      if (!std::regex_search(codeLines[i], r.re)) continue;
+      if (isAllowed(allows, line, r.id)) continue;
+      out->push_back({relPath, line, r.id, r.message});
+    }
+  }
+}
+
+/// Collect names declared as std::unordered_{map,set,multimap,multiset}
+/// anywhere in the (comment-stripped) text: skip the balanced <...> template
+/// argument list, then take the next identifier.
+std::set<std::string> unorderedNames(const std::string& code) {
+  std::set<std::string> names;
+  static const char* kContainers[] = {"unordered_map", "unordered_set",
+                                      "unordered_multimap",
+                                      "unordered_multiset"};
+  for (const char* cont : kContainers) {
+    const std::string tok = cont;
+    std::size_t pos = 0;
+    while ((pos = code.find(tok, pos)) != std::string::npos) {
+      std::size_t j = pos + tok.size();
+      pos = j;
+      // Must be followed (after whitespace) by the template argument list.
+      while (j < code.size() &&
+             std::isspace(static_cast<unsigned char>(code[j]))) {
+        ++j;
+      }
+      if (j >= code.size() || code[j] != '<') continue;
+      int depth = 0;
+      while (j < code.size()) {
+        if (code[j] == '<') ++depth;
+        if (code[j] == '>') {
+          --depth;
+          if (depth == 0) {
+            ++j;
+            break;
+          }
+        }
+        ++j;
+      }
+      // Skip whitespace and reference/pointer decoration before the name.
+      while (j < code.size() &&
+             (std::isspace(static_cast<unsigned char>(code[j])) ||
+              code[j] == '&' || code[j] == '*')) {
+        ++j;
+      }
+      std::string name;
+      while (j < code.size() &&
+             (std::isalnum(static_cast<unsigned char>(code[j])) ||
+              code[j] == '_')) {
+        name += code[j++];
+      }
+      if (!name.empty() && name != "const") names.insert(name);
+    }
+  }
+  return names;
+}
+
+void checkUnorderedIteration(const std::string& code,
+                             const std::string& headerCode,
+                             const std::vector<std::string>& codeLines,
+                             const std::map<int, Allow>& allows,
+                             const std::string& relPath,
+                             std::vector<Finding>* out) {
+  std::set<std::string> names = unorderedNames(code);
+  const std::set<std::string> headerNames = unorderedNames(headerCode);
+  names.insert(headerNames.begin(), headerNames.end());
+  if (names.empty()) return;
+
+  static const std::regex kRangedFor(R"(for\s*\([^;()]*:\s*\*?(\w+)\s*\))");
+  static const std::regex kBeginCall(R"((\w+)\s*\.\s*c?begin\s*\()");
+  for (std::size_t i = 0; i < codeLines.size(); ++i) {
+    const int line = static_cast<int>(i + 1);
+    for (const auto* re : {&kRangedFor, &kBeginCall}) {
+      auto begin =
+          std::sregex_iterator(codeLines[i].begin(), codeLines[i].end(), *re);
+      for (auto it = begin; it != std::sregex_iterator(); ++it) {
+        const std::string name = (*it)[1].str();
+        if (!names.count(name)) continue;
+        if (isAllowed(allows, line, "unordered-iter")) continue;
+        out->push_back(
+            {relPath, line, "unordered-iter",
+             "iteration over unordered container '" + name +
+                 "' in simulation-visible code; use std::map / a sorted "
+                 "vector, or allowlist with a proof order cannot escape"});
+      }
+    }
+  }
+}
+
+void checkSchedulerCategories(const std::string& code,
+                              const std::map<int, Allow>& allows,
+                              const std::string& relPath,
+                              std::vector<Finding>* out) {
+  for (const char* tok : {"scheduleAt", "scheduleAfter"}) {
+    const std::string t = tok;
+    std::size_t pos = 0;
+    while ((pos = code.find(t, pos)) != std::string::npos) {
+      const std::size_t start = pos;
+      pos += t.size();
+      // Token boundaries: reject scheduleAttempt, rescheduleAt, etc.
+      if (start > 0) {
+        const char prev = code[start - 1];
+        if (std::isalnum(static_cast<unsigned char>(prev)) || prev == '_') {
+          continue;
+        }
+      }
+      std::size_t j = pos;
+      while (j < code.size() &&
+             std::isspace(static_cast<unsigned char>(code[j]))) {
+        ++j;
+      }
+      if (j >= code.size() || code[j] != '(') continue;
+      // Capture the balanced call extent.
+      int depth = 0;
+      const std::size_t open = j;
+      while (j < code.size()) {
+        if (code[j] == '(') ++depth;
+        if (code[j] == ')') {
+          --depth;
+          if (depth == 0) break;
+        }
+        ++j;
+      }
+      const std::string extent = code.substr(open, j - open + 1);
+      // A declaration/definition extent mentions std::function parameters;
+      // call sites pass lambdas or callables. Distinguish cheaply: a
+      // declaration's extent contains "std::function<".
+      if (extent.find("std::function<") != std::string::npos) continue;
+      if (extent.find("prof::Category::") != std::string::npos) continue;
+      const int line =
+          1 + static_cast<int>(std::count(code.begin(),
+                                          code.begin() +
+                                              static_cast<std::ptrdiff_t>(
+                                                  start),
+                                          '\n'));
+      if (isAllowed(allows, line, "sched-category")) continue;
+      out->push_back({relPath, line, "sched-category",
+                      std::string(tok) +
+                          "() without an explicit prof::Category tag; name "
+                          "the event's category so profiling attributes it"});
+    }
+  }
+}
+
+// ------------------------------------------------------------- self-test
+
+struct Fixture {
+  const char* name;
+  const char* path;     // decides rule scoping
+  const char* content;
+  const char* expectRule;  // nullptr => must be clean
+};
+
+const Fixture kFixtures[] = {
+    {"raw-rng hit", "src/core/bad_rng.cc",
+     "int draw() { return rand() % 6; }\n", "raw-rng"},
+    {"raw-rng random_device hit", "src/mac/bad_dev.cc",
+     "#include <random>\nstd::random_device rd;\n", "raw-rng"},
+    {"raw-rng allowlisted", "src/core/ok_rng.cc",
+     "// manet-lint: allow(raw-rng): seeding doc example, never compiled in\n"
+     "int draw() { return rand() % 6; }\n",
+     nullptr},
+    {"raw-rng clean in rng.cc", "src/sim/rng.cc",
+     "std::uint64_t mix() { return 1; } // rand() lives here by design\n",
+     nullptr},
+    {"wall-clock hit", "src/net/bad_clock.cc",
+     "auto t0 = std::chrono::steady_clock::now();\n", "wall-clock"},
+    {"wall-clock allowed in prof", "src/prof/ok_clock.cc",
+     "auto t0 = std::chrono::steady_clock::now();\n", nullptr},
+    {"wall-clock allowed in bench", "bench/ok_clock.cc",
+     "auto t0 = std::chrono::high_resolution_clock::now();\n", nullptr},
+    {"unordered-iter hit", "src/core/bad_iter.cc",
+     "#include <unordered_map>\n"
+     "std::unordered_map<int, int> table_;\n"
+     "void f() { for (auto& [k, v] : table_) { (void)k; (void)v; } }\n",
+     "unordered-iter"},
+    {"unordered-iter begin hit", "src/sim/bad_begin.cc",
+     "#include <unordered_set>\n"
+     "std::unordered_set<int> seen_;\n"
+     "auto f() { return seen_.begin(); }\n",
+     "unordered-iter"},
+    {"unordered-iter lookup clean", "src/core/ok_lookup.cc",
+     "#include <unordered_map>\n"
+     "std::unordered_map<int, int> table_;\n"
+     "bool f(int k) { return table_.find(k) != table_.end(); }\n",
+     nullptr},
+    {"unordered-iter out of scope", "src/telemetry/ok_iter.cc",
+     "#include <unordered_map>\n"
+     "std::unordered_map<int, int> table_;\n"
+     "void f() { for (auto& [k, v] : table_) { (void)k; (void)v; } }\n",
+     nullptr},
+    {"sched-category hit", "src/traffic/bad_sched.cc",
+     "void f(manet::sim::Scheduler& s) {\n"
+     "  s.scheduleAt(manet::sim::Time::seconds(1), [] {});\n"
+     "}\n",
+     "sched-category"},
+    {"sched-category tagged clean", "src/traffic/ok_sched.cc",
+     "void f(manet::sim::Scheduler& s) {\n"
+     "  s.scheduleAfter(manet::sim::Time::seconds(1), [] {},\n"
+     "                  prof::Category::kTraffic);\n"
+     "}\n",
+     nullptr},
+    {"float-time hit", "src/mac/bad_time.cc",
+     "double f(manet::sim::Time t) { return t.toSeconds() * 2.0; }\n",
+     "float-time"},
+    {"float-time allowlisted", "src/mac/ok_time.cc",
+     "double f(manet::sim::Time t) {\n"
+     "  // manet-lint: allow(float-time): report-only value, never fed back\n"
+     "  return t.toSeconds() * 2.0;\n"
+     "}\n",
+     nullptr},
+    {"iostream hit", "src/util/bad_io.cc", "#include <iostream>\n",
+     "iostream-include"},
+    {"iostream fine in examples", "examples/ok_io.cpp",
+     "#include <iostream>\nint main() { std::cout << 1; }\n", nullptr},
+    {"bare allow flagged", "src/core/bad_allow.cc",
+     "// manet-lint: allow(raw-rng)\nint draw() { return rand() % 6; }\n",
+     "bare-allow"},
+    {"unknown rule flagged", "src/core/bad_rule.cc",
+     "// manet-lint: allow(raw-rgn): typo\nint x;\n", "unknown-rule"},
+    {"comment mention clean", "src/core/ok_comment.cc",
+     "// rand() and steady_clock are banned here; see DESIGN.md\nint x;\n",
+     nullptr},
+    {"string mention clean", "src/core/ok_string.cc",
+     "const char* kMsg = \"do not call rand() or iterate unordered_map\";\n",
+     nullptr},
+};
+
+}  // namespace
+
+// ----------------------------------------------------------------- public
+
+const std::vector<RuleInfo>& rules() { return kRules; }
+
+bool knownRule(const std::string& id) {
+  return std::any_of(kRules.begin(), kRules.end(),
+                     [&](const RuleInfo& r) { return id == r.id; });
+}
+
+std::string ruleRationale(const std::string& id) {
+  for (const RuleInfo& r : kRules) {
+    if (id == r.id) return r.rationale;
+  }
+  return {};
+}
+
+std::vector<Finding> lintSource(const std::string& relPath,
+                                const std::string& content,
+                                const std::string& headerContent) {
+  std::vector<Finding> out;
+  const Lexed lexed = stripCommentsAndLiterals(content);
+  const std::string headerCode =
+      headerContent.empty() ? std::string()
+                            : stripCommentsAndLiterals(headerContent).code;
+  const std::vector<std::string> rawLines = splitLines(content);
+  const std::vector<std::string> maskLines = splitLines(lexed.mask);
+  const std::vector<std::string> codeLines = splitLines(lexed.code);
+  std::map<int, Allow> allows = parseAllows(rawLines, maskLines, relPath, &out);
+  propagateAllows(codeLines, &allows);
+
+  const bool inSrc = startsWith(relPath, "src/");
+  const bool simCore = inSimCore(relPath);
+
+  std::vector<LineRule> lineRules;
+  if (!startsWith(relPath, "src/sim/rng.")) {
+    lineRules.push_back(
+        {"raw-rng",
+         std::regex(R"(\b(rand|srand)\s*\(|std::random_device|)"
+                    R"(\brandom_device\b)"),
+         "process-global/nondeterministic RNG; draw from a named sim::Rng "
+         "stream instead"});
+  }
+  if (!startsWith(relPath, "src/prof/") && !startsWith(relPath, "bench/")) {
+    lineRules.push_back(
+        {"wall-clock",
+         std::regex(R"(steady_clock|system_clock|high_resolution_clock|)"
+                    R"(\bgettimeofday\b|\bclock_gettime\b|)"
+                    R"(\btime\s*\(\s*(nullptr|NULL|0)\s*\))"),
+         "wall-clock read outside src/prof//bench/; simulated time comes "
+         "from Scheduler::now()"});
+  }
+  if (simCore && !startsWith(relPath, "src/sim/time.h")) {
+    lineRules.push_back(
+        {"float-time",
+         std::regex(R"(\.\s*toSeconds\s*\(|\bfromSeconds\s*\()"),
+         "sim::Time <-> double round-trip in simulation-core code; keep "
+         "float math in reporting layers or allowlist a fixed-op use"});
+  }
+  if (inSrc) {
+    lineRules.push_back({"iostream-include",
+                         std::regex(R"(#\s*include\s*<iostream>)"),
+                         "<iostream> in library code; use util::log or "
+                         "return data to the caller"});
+  }
+  applyLineRules(lineRules, codeLines, allows, relPath, &out);
+
+  if (simCore) {
+    checkUnorderedIteration(lexed.code, headerCode, codeLines, allows,
+                            relPath, &out);
+  }
+  if (inSrc && !startsWith(relPath, "src/sim/scheduler.")) {
+    checkSchedulerCategories(lexed.code, allows, relPath, &out);
+  }
+
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
+  });
+  return out;
+}
+
+std::vector<Finding> lintTree(const std::string& root,
+                              std::vector<std::string>* scannedFiles) {
+  namespace fs = std::filesystem;
+  static const char* kRoots[] = {"src", "bench", "examples", "tests"};
+  static const char* kExts[] = {".cc", ".h", ".cpp", ".hpp"};
+
+  std::vector<fs::path> files;
+  for (const char* r : kRoots) {
+    const fs::path dir = fs::path(root) / r;
+    if (!fs::exists(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (std::find(std::begin(kExts), std::end(kExts), ext) ==
+          std::end(kExts)) {
+        continue;
+      }
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  const auto slurp = [](const fs::path& p) {
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  };
+
+  std::vector<Finding> out;
+  for (const fs::path& p : files) {
+    const std::string rel =
+        fs::relative(p, root).generic_string();
+    if (scannedFiles) scannedFiles->push_back(rel);
+    std::string header;
+    const std::string ext = p.extension().string();
+    if (ext == ".cc" || ext == ".cpp") {
+      for (const char* hx : {".h", ".hpp"}) {
+        fs::path hp = p;
+        hp.replace_extension(hx);
+        if (fs::exists(hp)) {
+          header = slurp(hp);
+          break;
+        }
+      }
+    }
+    std::vector<Finding> fs_ = lintSource(rel, slurp(p), header);
+    out.insert(out.end(), fs_.begin(), fs_.end());
+  }
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    return std::tie(a.file, a.line, a.rule) <
+           std::tie(b.file, b.line, b.rule);
+  });
+  return out;
+}
+
+std::string formatFinding(const Finding& f) {
+  return f.file + ":" + std::to_string(f.line) + ": [" + f.rule + "] " +
+         f.message;
+}
+
+int runSelfTest() {
+  int failures = 0;
+  for (const Fixture& fx : kFixtures) {
+    const std::vector<Finding> found = lintSource(fx.path, fx.content);
+    if (fx.expectRule == nullptr) {
+      if (!found.empty()) {
+        ++failures;
+        std::fprintf(stderr, "self-test FAIL: '%s' expected clean, got:\n",
+                     fx.name);
+        for (const Finding& f : found) {
+          std::fprintf(stderr, "  %s\n", formatFinding(f).c_str());
+        }
+      }
+      continue;
+    }
+    const bool hit =
+        std::any_of(found.begin(), found.end(),
+                    [&](const Finding& f) { return f.rule == fx.expectRule; });
+    if (!hit) {
+      ++failures;
+      std::fprintf(stderr,
+                   "self-test FAIL: '%s' expected a [%s] finding, got %zu "
+                   "finding(s)\n",
+                   fx.name, fx.expectRule, found.size());
+      for (const Finding& f : found) {
+        std::fprintf(stderr, "  %s\n", formatFinding(f).c_str());
+      }
+    }
+  }
+  if (failures == 0) {
+    std::fprintf(stderr, "manet_lint self-test: %zu fixtures ok\n",
+                 std::size(kFixtures));
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace manet::lint

@@ -1,0 +1,72 @@
+// manet_lint: repo-specific determinism linter.
+//
+// The simulator's headline property — same seed, bit-identical run — is a
+// whole-repo invariant: one rand() call, one wall-clock read, or one
+// hash-ordered loop feeding packet emission breaks it silently. This linter
+// turns those invariants into build errors. It works on tokens plus
+// lightweight lexing (comments, string and char literals are stripped before
+// matching), not a full C++ parse; rules are scoped to the directories where
+// a violation is actually simulation-visible.
+//
+// Suppression syntax (checked: a justification is mandatory):
+//   // manet-lint: allow(<rule>): <why this use cannot perturb the sim>
+// The comment suppresses findings of <rule> on its own line and the next
+// line, so it can sit above (or trail) the offending statement; a
+// justification continued over several pure-comment lines still reaches the
+// code below the block.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace manet::lint {
+
+struct Finding {
+  std::string file;  // repo-relative path, forward slashes
+  int line = 0;      // 1-based
+  std::string rule;
+  std::string message;
+
+  bool operator==(const Finding&) const = default;
+};
+
+struct RuleInfo {
+  const char* id;
+  const char* summary;    // one-line description of what is flagged
+  const char* rationale;  // why the rule exists (printed by --fix-hints)
+};
+
+/// All rules the engine knows, in stable order.
+const std::vector<RuleInfo>& rules();
+
+/// True if `id` names a known rule.
+bool knownRule(const std::string& id);
+
+/// Lint a single file. `relPath` selects which rules apply (scoping is by
+/// directory); `headerContent` is the paired header of a .cc file, used only
+/// to pick up member declarations (e.g. an unordered_map declared in the .h
+/// and iterated in the .cc).
+std::vector<Finding> lintSource(const std::string& relPath,
+                                const std::string& content,
+                                const std::string& headerContent = "");
+
+/// Walk the default scan roots (src, bench, examples, tests) under `root`
+/// and lint every C++ file, pairing each .cc/.cpp with its sibling header.
+/// Results are sorted by path then line, so output is deterministic.
+/// Returns findings; files actually read are appended to `scannedFiles`
+/// when non-null.
+std::vector<Finding> lintTree(const std::string& root,
+                              std::vector<std::string>* scannedFiles = nullptr);
+
+/// One finding rendered as "path:line: [rule] message".
+std::string formatFinding(const Finding& f);
+
+/// Rationale text for a rule id (empty if unknown).
+std::string ruleRationale(const std::string& id);
+
+/// Run the embedded fixture suite: every rule must flag its seeded
+/// violation, honour its allowlisted variant, and pass its clean variant.
+/// Returns 0 on success; prints failures to stderr.
+int runSelfTest();
+
+}  // namespace manet::lint

@@ -1,0 +1,93 @@
+// manet_lint CLI: determinism lint over the repo tree.
+//
+//   manet_lint [--root DIR]         lint src/ bench/ examples/ tests/
+//   manet_lint --self-test          run the embedded fixture suite
+//   manet_lint --list-rules         print rule ids and summaries
+//   manet_lint --fix-hints          append each rule's rationale to findings
+//
+// Exit codes: 0 clean, 1 findings (or self-test failure), 2 usage error.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "tools/manet_lint/lint.h"
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: manet_lint [--root DIR] [--fix-hints] [--quiet]\n"
+               "       manet_lint --self-test | --list-rules\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  bool fixHints = false;
+  bool quiet = false;
+  bool selfTest = false;
+  bool listRules = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root") {
+      if (i + 1 >= argc) {
+        usage();
+        return 2;
+      }
+      root = argv[++i];
+    } else if (arg == "--fix-hints") {
+      fixHints = true;
+    } else if (arg == "--quiet" || arg == "-q") {
+      quiet = true;
+    } else if (arg == "--self-test") {
+      selfTest = true;
+    } else if (arg == "--list-rules") {
+      listRules = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "manet_lint: unknown argument '%s'\n",
+                   arg.c_str());
+      usage();
+      return 2;
+    }
+  }
+
+  if (listRules) {
+    for (const auto& r : manet::lint::rules()) {
+      std::printf("%-18s %s\n", r.id, r.summary);
+      if (fixHints) std::printf("%18s %s\n", "", r.rationale);
+    }
+    return 0;
+  }
+  if (selfTest) return manet::lint::runSelfTest();
+
+  if (!std::filesystem::exists(std::filesystem::path(root) / "src")) {
+    std::fprintf(stderr,
+                 "manet_lint: '%s' does not look like the repo root (no "
+                 "src/); pass --root\n",
+                 root.c_str());
+    return 2;
+  }
+
+  std::vector<std::string> scanned;
+  const std::vector<manet::lint::Finding> findings =
+      manet::lint::lintTree(root, &scanned);
+  for (const auto& f : findings) {
+    std::printf("%s\n", manet::lint::formatFinding(f).c_str());
+    if (fixHints) {
+      std::printf("    rationale: %s\n",
+                  manet::lint::ruleRationale(f.rule).c_str());
+    }
+  }
+  if (!quiet) {
+    std::fprintf(stderr, "manet_lint: %zu file(s) scanned, %zu finding(s)\n",
+                 scanned.size(), findings.size());
+  }
+  return findings.empty() ? 0 : 1;
+}
