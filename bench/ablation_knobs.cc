@@ -10,12 +10,19 @@
 //                                 as using it (the paper's wording says no,
 //                                 and that is what makes tiny timeouts
 //                                 expensive).
-#include <cctype>
+//
+// Six single-axis plans run back to back; --filter applies to whichever
+// plan has the named axis (e.g. --filter alpha=2.0 narrows plan 1 and
+// leaves the others whole).
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "src/core/dsr_config.h"
+#include "src/scenario/bench_cli.h"
 #include "src/scenario/experiment.h"
+#include "src/scenario/runner.h"
+#include "src/scenario/sweep.h"
 #include "src/scenario/table.h"
 
 using namespace manet;
@@ -23,140 +30,182 @@ using scenario::Table;
 
 namespace {
 
-/// Runs one ablation setting; the row label doubles as the structured-export
-/// label (sanitized to stay filename-friendly under MANET_EXPORT_DIR).
-scenario::AggregateResult run(const scenario::ScenarioConfig& cfg, int reps,
-                              std::string label) {
-  for (char& c : label) {
-    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '.' && c != '-') {
-      c = '_';
-    }
-  }
-  return scenario::runReplicated(cfg, reps, {}, "ablation_" + label);
+/// The shared metric columns (same shape as the paper's per-figure rows).
+scenario::ExperimentPlan& addMetrics(scenario::ExperimentPlan& plan) {
+  return plan
+      .metric("delivery",
+              [](const scenario::AggregateResult& a) {
+                return a.deliveryFraction.mean();
+              })
+      .metric("delay_s",
+              [](const scenario::AggregateResult& a) {
+                return a.avgDelaySec.mean();
+              })
+      .metric("overhead",
+              [](const scenario::AggregateResult& a) {
+                return a.normalizedOverhead.mean();
+              },
+              2)
+      .metric("good_pct",
+              [](const scenario::AggregateResult& a) {
+                return a.goodReplyPct.mean();
+              },
+              1)
+      .metric("invalid_pct",
+              [](const scenario::AggregateResult& a) {
+                return a.invalidCacheHitPct.mean();
+              },
+              1);
 }
 
-std::vector<std::string> row(const std::string& label,
-                             const scenario::AggregateResult& agg) {
-  return {label, Table::num(agg.deliveryFraction.mean(), 3),
-          Table::num(agg.avgDelaySec.mean(), 3),
-          Table::num(agg.normalizedOverhead.mean(), 2),
-          Table::num(agg.goodReplyPct.mean(), 1),
-          Table::num(agg.invalidCacheHitPct.mean(), 1)};
+/// Run one ablation plan and print its table.
+void runAblation(const scenario::BenchCli& cli, scenario::ExperimentPlan& plan,
+                 const std::string& title, const std::string& csvName) {
+  addMetrics(plan);
+  cli.applyMatchingFilters(plan);
+  const scenario::SweepResult result =
+      scenario::runPlan(plan, cli.runnerOptions());
+  scenario::pointTable(plan, result).print(title, csvName);
+  std::printf("%zu points x %d seeds in %.1f s (%d jobs)\n",
+              plan.pointCount(), result.replications, result.wallSeconds,
+              result.jobs);
 }
-
-const std::vector<std::string> kHeader{"setting", "delivery", "delay_s",
-                                       "overhead", "good_pct", "invalid_pct"};
 
 }  // namespace
 
-int main() {
-  const scenario::BenchScale scale = scenario::benchScale();
+int main(int argc, char** argv) {
+  const scenario::BenchCli cli(argc, argv, "ablation_knobs");
+  const scenario::BenchScale& scale = cli.scale();
   scenario::ScenarioConfig base = scenario::paperScenario(scale);
-  const int reps = scale.replications;
   std::printf("Ablations — %d nodes, %d flows, %.0f s, %d seeds%s\n",
-              base.numNodes, base.numFlows, base.duration.toSeconds(), reps,
-              scale.full ? " (full scale)" : "");
+              base.numNodes, base.numFlows, base.duration.toSeconds(),
+              cli.replications(), scale.full ? " (full scale)" : "");
 
   {  // 1. adaptive alpha
-    Table t(kHeader);
-    for (double alpha : {0.5, 1.0, 2.0, 4.0, 8.0}) {
-      scenario::ScenarioConfig cfg = base;
-      cfg.dsr = core::makeVariantConfig(core::Variant::kAdaptiveExpiry);
-      cfg.dsr.adaptiveAlpha = alpha;
-      std::printf("  alpha=%.1f...\n", alpha);
-      const std::string label = "alpha=" + Table::num(alpha, 1);
-      t.addRow(row(label, run(cfg, reps, label)));
-    }
-    t.print("Ablation 1 — adaptive timeout alpha", "ablation_alpha.csv");
+    scenario::ScenarioConfig cfg = base;
+    cfg.dsr = core::makeVariantConfig(core::Variant::kAdaptiveExpiry);
+    scenario::ExperimentPlan plan("ablation_alpha", cfg);
+    plan.axis(
+        "alpha", {0.5, 1.0, 2.0, 4.0, 8.0},
+        [](scenario::ScenarioConfig& c, double alpha) {
+          c.dsr.adaptiveAlpha = alpha;
+        },
+        /*labelPrecision=*/1);
+    runAblation(cli, plan, "Ablation 1 — adaptive timeout alpha",
+                "ablation_alpha.csv");
   }
 
   {  // 2. negative cache size and Nt
-    Table t(kHeader);
+    scenario::ScenarioConfig cfg = base;
+    cfg.dsr = core::makeVariantConfig(core::Variant::kNegCache);
     struct Knob {
       std::size_t cap;
       double nt;
     };
+    std::vector<scenario::AxisValue> knobs;
     for (Knob k : {Knob{16, 10}, Knob{64, 10}, Knob{256, 10}, Knob{64, 3},
                    Knob{64, 30}}) {
-      scenario::ScenarioConfig cfg = base;
-      cfg.dsr = core::makeVariantConfig(core::Variant::kNegCache);
-      cfg.dsr.negCacheCapacity = k.cap;
-      cfg.dsr.negCacheTtl = sim::Time::fromSeconds(k.nt);
-      std::printf("  negcache cap=%zu Nt=%.0fs...\n", k.cap, k.nt);
-      const std::string label =
-          "cap=" + std::to_string(k.cap) + ",Nt=" + Table::num(k.nt, 0);
-      t.addRow(row(label, run(cfg, reps, label)));
+      knobs.push_back({"cap=" + std::to_string(k.cap) +
+                           ",Nt=" + Table::num(k.nt, 0),
+                       [k](scenario::ScenarioConfig& c) {
+                         c.dsr.negCacheCapacity = k.cap;
+                         c.dsr.negCacheTtl = sim::Time::fromSeconds(k.nt);
+                       }});
     }
-    t.print("Ablation 2 — negative cache size / Nt", "ablation_negcache.csv");
+    scenario::ExperimentPlan plan("ablation_negcache", cfg);
+    plan.axis("negcache", std::move(knobs));
+    runAblation(cli, plan, "Ablation 2 — negative cache size / Nt",
+                "ablation_negcache.csv");
   }
 
   {  // 3. route cache capacity (base DSR)
-    Table t(kHeader);
+    scenario::ScenarioConfig cfg = base;
+    cfg.dsr = core::makeVariantConfig(core::Variant::kBase);
+    std::vector<scenario::AxisValue> caps;
     for (std::size_t cap : {32u, 64u, 128u, 256u, 1024u}) {
-      scenario::ScenarioConfig cfg = base;
-      cfg.dsr = core::makeVariantConfig(core::Variant::kBase);
-      cfg.dsr.routeCacheCapacity = cap;
-      std::printf("  route cache capacity=%zu...\n", (size_t)cap);
-      const std::string label = "capacity=" + std::to_string(cap);
-      t.addRow(row(label, run(cfg, reps, label)));
+      caps.push_back({std::to_string(cap), [cap](scenario::ScenarioConfig& c) {
+                        c.dsr.routeCacheCapacity = cap;
+                      }});
     }
-    t.print("Ablation 3 — route cache capacity (base DSR)",
-            "ablation_capacity.csv");
+    scenario::ExperimentPlan plan("ablation_capacity", cfg);
+    plan.axis("capacity", std::move(caps));
+    runAblation(cli, plan, "Ablation 3 — route cache capacity (base DSR)",
+                "ablation_capacity.csv");
   }
 
   {  // 4. cache structure: the paper's path cache vs Hu & Johnson's link
      //    cache, under base DSR and under ALL (footnote 1 of the paper).
-    Table t(kHeader);
+    std::vector<scenario::AxisValue> structures;
     for (core::CacheStructure s :
          {core::CacheStructure::kPath, core::CacheStructure::kLink}) {
-      for (core::Variant v : {core::Variant::kBase, core::Variant::kAll}) {
-        scenario::ScenarioConfig cfg = base;
-        cfg.dsr = core::makeVariantConfig(v);
-        cfg.dsr.cacheStructure = s;
-        // A link cache stores individual links, not whole paths: give it a
-        // comparable information budget.
-        cfg.dsr.routeCacheCapacity =
-            s == core::CacheStructure::kLink ? 512 : 128;
-        std::printf("  %s cache, %s...\n", core::toString(s),
-                    core::toString(v));
-        const std::string label =
-            std::string(core::toString(s)) + "+" + core::toString(v);
-        t.addRow(row(label, run(cfg, reps, label)));
-      }
+      structures.push_back(
+          {core::toString(s), [s](scenario::ScenarioConfig& c) {
+             c.dsr.cacheStructure = s;
+             // A link cache stores individual links, not whole paths: give
+             // it a comparable information budget.
+             c.dsr.routeCacheCapacity =
+                 s == core::CacheStructure::kLink ? 512 : 128;
+           }});
     }
-    t.print("Ablation 4 — cache structure (path vs link)",
-            "ablation_structure.csv");
+    std::vector<scenario::AxisValue> variants;
+    for (core::Variant v : {core::Variant::kBase, core::Variant::kAll}) {
+      // makeVariantConfig replaces the whole dsr block, so this mutator
+      // (applied after the structure axis) re-applies the structure knobs
+      // it would otherwise wipe.
+      variants.push_back({core::toString(v),
+                          [v](scenario::ScenarioConfig& c) {
+                            const core::CacheStructure keep =
+                                c.dsr.cacheStructure;
+                            const std::size_t cap = c.dsr.routeCacheCapacity;
+                            c.dsr = core::makeVariantConfig(v);
+                            c.dsr.cacheStructure = keep;
+                            c.dsr.routeCacheCapacity = cap;
+                          }});
+    }
+    scenario::ExperimentPlan plan("ablation_structure", base);
+    plan.axis("structure", std::move(structures))
+        .axis("structure_variant", std::move(variants));
+    runAblation(cli, plan, "Ablation 4 — cache structure (path vs link)",
+                "ablation_structure.csv");
   }
 
   {  // 5. freshness tagging (the paper's future work) on top of ALL
-    Table t(kHeader);
-    for (bool fresh : {false, true}) {
-      scenario::ScenarioConfig cfg = base;
-      cfg.dsr = core::makeVariantConfig(core::Variant::kAll);
-      cfg.dsr.freshnessTagging = fresh;
-      std::printf("  ALL, freshness=%d...\n", fresh);
-      const std::string label = fresh ? "ALL + freshness tags" : "ALL";
-      t.addRow(row(label, run(cfg, reps, label)));
-    }
-    t.print("Ablation 5 — route freshness tagging (future-work extension)",
-            "ablation_freshness.csv");
+    scenario::ScenarioConfig cfg = base;
+    cfg.dsr = core::makeVariantConfig(core::Variant::kAll);
+    scenario::ExperimentPlan plan("ablation_freshness", cfg);
+    plan.axis("freshness",
+              {scenario::AxisValue{"ALL",
+                                   [](scenario::ScenarioConfig& c) {
+                                     c.dsr.freshnessTagging = false;
+                                   }},
+               scenario::AxisValue{"ALL+freshness_tags",
+                                   [](scenario::ScenarioConfig& c) {
+                                     c.dsr.freshnessTagging = true;
+                                   }}});
+    runAblation(cli, plan,
+                "Ablation 5 — route freshness tagging (future-work extension)",
+                "ablation_freshness.csv");
   }
 
   {  // 6. expiry use semantics at a small timeout
-    Table t(kHeader);
-    for (bool countsOrigination : {false, true}) {
-      scenario::ScenarioConfig cfg = base;
-      cfg.dsr = core::makeVariantConfig(core::Variant::kStaticExpiry,
-                                        sim::Time::fromSeconds(1));
-      cfg.dsr.expiryCountsOrigination = countsOrigination;
-      std::printf("  T=1s, origination-counts=%d...\n", countsOrigination);
-      const std::string label = countsOrigination
-                                    ? "T=1s, origination counts"
-                                    : "T=1s, forwarded-only (paper)";
-      t.addRow(row(label, run(cfg, reps, label)));
-    }
-    t.print("Ablation 6 — expiry 'use' semantics at T=1s",
-            "ablation_use_semantics.csv");
+    scenario::ScenarioConfig cfg = base;
+    cfg.dsr = core::makeVariantConfig(core::Variant::kStaticExpiry,
+                                      sim::Time::fromSeconds(1));
+    scenario::ExperimentPlan plan("ablation_use_semantics", cfg);
+    plan.axis(
+        "use_semantics",
+        {scenario::AxisValue{"T=1s_forwarded-only_(paper)",
+                             [](scenario::ScenarioConfig& c) {
+                               c.dsr.expiryCountsOrigination = false;
+                             }},
+         scenario::AxisValue{"T=1s_origination_counts",
+                             [](scenario::ScenarioConfig& c) {
+                               c.dsr.expiryCountsOrigination = true;
+                             }}});
+    runAblation(cli, plan, "Ablation 6 — expiry 'use' semantics at T=1s",
+                "ablation_use_semantics.csv");
   }
+
+  cli.checkFiltersConsumed();
   return 0;
 }

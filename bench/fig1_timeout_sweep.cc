@@ -11,67 +11,84 @@
 // the no-timeout baseline as the timeout grows; the adaptive mechanism
 // lands near the static optimum.
 //
-// Scale: default is the paper's topology at 120 s x 2 seeds; set
-// REPRO_FULL=1 for the paper's full 500 s x 5 seeds.
+// One ExperimentPlan, one axis (the timeout, mixing the two reference
+// points with the static values); the runner parallelizes the grid across
+// --jobs workers with byte-identical output for every job count. See
+// --help for the shared bench flags (--jobs/--scale/--seeds/--filter/...).
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "src/core/dsr_config.h"
+#include "src/scenario/bench_cli.h"
 #include "src/scenario/experiment.h"
+#include "src/scenario/runner.h"
+#include "src/scenario/sweep.h"
 #include "src/scenario/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace manet;
   using scenario::Table;
 
-  const scenario::BenchScale scale = scenario::benchScale();
+  const scenario::BenchCli cli(argc, argv, "fig1_timeout_sweep");
+  const scenario::BenchScale& scale = cli.scale();
   scenario::ScenarioConfig base = scenario::paperScenario(scale);
-  std::printf("Fig. 1: timeout sweep — %d nodes, %d flows, %.0f s, %d seeds%s\n",
-              base.numNodes, base.numFlows, base.duration.toSeconds(),
-              scale.replications, scale.full ? " (full scale)" : "");
+  std::printf(
+      "Fig. 1: timeout sweep — %d nodes, %d flows, %.0f s, %d seeds%s\n",
+      base.numNodes, base.numFlows, base.duration.toSeconds(),
+      cli.replications(), scale.full ? " (full scale)" : "");
 
-  Table table({"timeout_s", "delivery_fraction", "avg_delay_s",
-               "normalized_overhead", "good_replies_pct",
-               "invalid_hits_pct"});
-
-  auto addRow = [&](const std::string& label,
-                    const scenario::AggregateResult& agg) {
-    table.addRow({label, Table::num(agg.deliveryFraction.mean(), 3),
-                  Table::num(agg.avgDelaySec.mean(), 3),
-                  Table::num(agg.normalizedOverhead.mean(), 2),
-                  Table::num(agg.goodReplyPct.mean(), 1),
-                  Table::num(agg.invalidCacheHitPct.mean(), 1)});
-  };
-
-  {  // No-timeout reference (base DSR).
-    scenario::ScenarioConfig cfg = base;
-    cfg.dsr = core::makeVariantConfig(core::Variant::kBase);
-    std::printf("  running no-timeout reference...\n");
-    addRow("none", scenario::runReplicated(cfg, scale.replications, {},
-                                           "fig1_none"));
+  std::vector<scenario::AxisValue> timeouts;
+  timeouts.push_back({"none", [](scenario::ScenarioConfig& cfg) {
+                        cfg.dsr = core::makeVariantConfig(core::Variant::kBase);
+                      }});
+  for (double t : {0.25, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0}) {
+    timeouts.push_back({Table::num(t, 2), [t](scenario::ScenarioConfig& cfg) {
+                          cfg.dsr = core::makeVariantConfig(
+                              core::Variant::kStaticExpiry,
+                              sim::Time::fromSeconds(t));
+                        }});
   }
+  timeouts.push_back(
+      {"adaptive", [](scenario::ScenarioConfig& cfg) {
+         cfg.dsr = core::makeVariantConfig(core::Variant::kAdaptiveExpiry);
+       }});
 
-  const double timeouts[] = {0.25, 0.5, 1, 2, 5, 10, 20, 50};
-  for (double t : timeouts) {
-    scenario::ScenarioConfig cfg = base;
-    cfg.dsr = core::makeVariantConfig(core::Variant::kStaticExpiry,
-                                      sim::Time::fromSeconds(t));
-    std::printf("  running static timeout %.2fs...\n", t);
-    addRow(Table::num(t, 2),
-           scenario::runReplicated(cfg, scale.replications, {},
-                                   "fig1_t" + Table::num(t, 2)));
-  }
+  scenario::ExperimentPlan plan("fig1", base);
+  plan.axis("timeout_s", std::move(timeouts))
+      .metric("delivery_fraction",
+              [](const scenario::AggregateResult& a) {
+                return a.deliveryFraction.mean();
+              })
+      .metric("avg_delay_s",
+              [](const scenario::AggregateResult& a) {
+                return a.avgDelaySec.mean();
+              })
+      .metric("normalized_overhead",
+              [](const scenario::AggregateResult& a) {
+                return a.normalizedOverhead.mean();
+              },
+              2)
+      .metric("good_replies_pct",
+              [](const scenario::AggregateResult& a) {
+                return a.goodReplyPct.mean();
+              },
+              1)
+      .metric("invalid_hits_pct",
+              [](const scenario::AggregateResult& a) {
+                return a.invalidCacheHitPct.mean();
+              },
+              1);
+  cli.applyFilters(plan);
 
-  {  // Adaptive reference.
-    scenario::ScenarioConfig cfg = base;
-    cfg.dsr = core::makeVariantConfig(core::Variant::kAdaptiveExpiry);
-    std::printf("  running adaptive timeout...\n");
-    addRow("adaptive", scenario::runReplicated(cfg, scale.replications, {},
-                                               "fig1_adaptive"));
-  }
+  const scenario::SweepResult result =
+      scenario::runPlan(plan, cli.runnerOptions());
 
-  table.print("Fig. 1 — metrics vs route expiry timeout (pause 0, 3 pkt/s)",
-              "fig1_timeout_sweep.csv");
+  scenario::pointTable(plan, result)
+      .print("Fig. 1 — metrics vs route expiry timeout (pause 0, 3 pkt/s)",
+             "fig1_timeout_sweep.csv");
+  std::printf("%zu points x %d seeds in %.1f s (%d jobs)\n",
+              plan.pointCount(), result.replications, result.wallSeconds,
+              result.jobs);
   return 0;
 }

@@ -8,65 +8,82 @@
 // saturates later / higher); the individual techniques lie between the two,
 // with the negative cache's benefit growing with load (cache pollution by
 // in-flight stale routes is a high-rate phenomenon).
+//
+// Two plan axes (rate x protocol); each panel is a pivot of one metric.
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "src/core/dsr_config.h"
+#include "src/scenario/bench_cli.h"
 #include "src/scenario/experiment.h"
+#include "src/scenario/runner.h"
+#include "src/scenario/sweep.h"
 #include "src/scenario/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace manet;
   using scenario::Table;
 
-  const scenario::BenchScale scale = scenario::benchScale();
+  const scenario::BenchCli cli(argc, argv, "fig4_load_sweep");
+  const scenario::BenchScale& scale = cli.scale();
   scenario::ScenarioConfig base = scenario::paperScenario(scale);
   std::printf("Fig. 4: load sweep — %d nodes, %d flows, %.0f s, %d seeds%s\n",
               base.numNodes, base.numFlows, base.duration.toSeconds(),
-              scale.replications, scale.full ? " (full scale)" : "");
-
-  const core::Variant variants[] = {
-      core::Variant::kBase,           core::Variant::kWiderError,
-      core::Variant::kAdaptiveExpiry, core::Variant::kNegCache,
-      core::Variant::kAll,
-  };
-  const double ratesPktPerSec[] = {1, 2, 3, 5, 8};
-
-  Table tput({"offered_kbps", "rate_pkt_s", "DSR", "WiderError",
-              "AdaptiveExpiry", "NegCache", "ALL"});
-  Table delay = tput;
-  Table overhead = tput;
-
-  for (double rate : ratesPktPerSec) {
-    const double offeredKbps =
-        rate * base.numFlows * base.payloadBytes * 8.0 / 1000.0;
-    std::vector<std::string> tRow{Table::num(offeredKbps, 0),
-                                  Table::num(rate, 0)};
-    std::vector<std::string> lRow = tRow;
-    std::vector<std::string> oRow = tRow;
-    for (core::Variant v : variants) {
-      scenario::ScenarioConfig cfg = base;
-      cfg.packetsPerSecond = rate;
-      cfg.dsr = core::makeVariantConfig(v);
-      std::printf("  %.0f pkt/s, %s...\n", rate, core::toString(v));
-      const auto agg = scenario::runReplicated(
-          cfg, scale.replications, {},
-          "fig4_r" + Table::num(rate, 0) + "_" + core::toString(v));
-      tRow.push_back(Table::num(agg.throughputKbps.mean(), 1));
-      lRow.push_back(Table::num(agg.avgDelaySec.mean(), 3));
-      oRow.push_back(Table::num(agg.normalizedOverhead.mean(), 2));
-    }
-    tput.addRow(tRow);
-    delay.addRow(lRow);
-    overhead.addRow(oRow);
+              cli.replications(), scale.full ? " (full scale)" : "");
+  for (double rate : {1.0, 2.0, 3.0, 5.0, 8.0}) {
+    std::printf("  %.0f pkt/s per flow = %.0f kb/s offered\n", rate,
+                rate * base.numFlows * base.payloadBytes * 8.0 / 1000.0);
   }
 
-  tput.print("Fig. 4(a) — received throughput (kb/s) vs offered load",
+  std::vector<scenario::AxisValue> variants;
+  for (core::Variant v :
+       {core::Variant::kBase, core::Variant::kWiderError,
+        core::Variant::kAdaptiveExpiry, core::Variant::kNegCache,
+        core::Variant::kAll}) {
+    variants.push_back({core::toString(v), [v](scenario::ScenarioConfig& cfg) {
+                          cfg.dsr = core::makeVariantConfig(v);
+                        }});
+  }
+
+  scenario::ExperimentPlan plan("fig4", base);
+  plan.axis(
+          "rate_pkt_s", {1.0, 2.0, 3.0, 5.0, 8.0},
+          [](scenario::ScenarioConfig& cfg, double rate) {
+            cfg.packetsPerSecond = rate;
+          },
+          /*labelPrecision=*/0)
+      .axis("protocol", std::move(variants))
+      .metric("throughput_kbps",
+              [](const scenario::AggregateResult& a) {
+                return a.throughputKbps.mean();
+              },
+              1)
+      .metric("delay_s",
+              [](const scenario::AggregateResult& a) {
+                return a.avgDelaySec.mean();
+              })
+      .metric("overhead",
+              [](const scenario::AggregateResult& a) {
+                return a.normalizedOverhead.mean();
+              },
+              2);
+  cli.applyFilters(plan);
+
+  const scenario::SweepResult result =
+      scenario::runPlan(plan, cli.runnerOptions());
+
+  scenario::pivotTable(plan, result, "throughput_kbps")
+      .print("Fig. 4(a) — received throughput (kb/s) vs offered load",
              "fig4a_throughput.csv");
-  delay.print("Fig. 4(b) — average delay (s) vs offered load",
-              "fig4b_delay.csv");
-  overhead.print("Fig. 4(c) — normalized overhead vs offered load",
-                 "fig4c_overhead.csv");
+  scenario::pivotTable(plan, result, "delay_s")
+      .print("Fig. 4(b) — average delay (s) vs offered load",
+             "fig4b_delay.csv");
+  scenario::pivotTable(plan, result, "overhead")
+      .print("Fig. 4(c) — normalized overhead vs offered load",
+             "fig4c_overhead.csv");
+  std::printf("%zu points x %d seeds in %.1f s (%d jobs)\n",
+              plan.pointCount(), result.replications, result.wallSeconds,
+              result.jobs);
   return 0;
 }

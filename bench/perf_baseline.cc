@@ -21,9 +21,12 @@
 #include <string>
 #include <vector>
 
+#include "src/core/dsr_config.h"
 #include "src/prof/bench_report.h"
 #include "src/prof/profiler.h"
+#include "src/scenario/runner.h"
 #include "src/scenario/scenario.h"
+#include "src/scenario/sweep.h"
 #include "src/telemetry/export.h"
 
 namespace {
@@ -115,15 +118,31 @@ prof::BenchScenario measure(const NamedScenario& ns, int reps) {
   out.name = ns.name;
   out.repetitions = reps;
 
+  // Repetitions are timing samples of the SAME config (not seed-varied),
+  // expressed as a no-op "rep" axis. jobs is pinned to 1: concurrent reps
+  // would contend for cores and corrupt the very wall times being measured.
+  scenario::ExperimentPlan plan(ns.name, ns.cfg);
+  std::vector<scenario::AxisValue> repAxis;
+  for (int i = 0; i < reps; ++i) {
+    repAxis.push_back({std::to_string(i + 1), {}});
+  }
+  plan.axis("rep", std::move(repAxis));
+  scenario::RunnerOptions opts;
+  opts.jobs = 1;
+  opts.keepRuns = true;
+  opts.onRun = [&](const scenario::SweepPoint& point, int,
+                   const scenario::RunResult& r) {
+    std::fprintf(stderr, "  %s rep %zu/%d: %.3f s, %llu events\n",
+                 ns.name.c_str(), point.index + 1, reps, r.wallSeconds,
+                 static_cast<unsigned long long>(r.eventsExecuted));
+  };
+  const scenario::SweepResult sweep = scenario::runPlan(plan, opts);
+
   std::vector<scenario::RunResult> results;
   results.reserve(static_cast<std::size_t>(reps));
-  for (int i = 0; i < reps; ++i) {
-    results.push_back(scenario::runScenario(ns.cfg));
+  for (const scenario::PointResult& p : sweep.points) {
+    results.push_back(p.agg.runs.at(0));
     out.wallSecondsAll.push_back(results.back().wallSeconds);
-    std::fprintf(stderr, "  %s rep %d/%d: %.3f s, %llu events\n",
-                 ns.name.c_str(), i + 1, reps, results.back().wallSeconds,
-                 static_cast<unsigned long long>(
-                     results.back().eventsExecuted));
   }
 
   // Median repetition by wall time (lower-middle for even rep counts).
@@ -237,14 +256,75 @@ int runSelfTest() {
   return 0;
 }
 
+// Serial-vs-parallel wall-time comparison on a small sweep, verifying the
+// runner's determinism contract along the way: the aggregate JSON for every
+// sweep point must be byte-identical between --jobs 1 and --jobs N.
+int runSweepSpeedup(int jobs) {
+  scenario::ScenarioConfig cfg = pinnedBase();
+  cfg.prof = prof::ProfConfig{};  // timing the runner, not the profiler
+  cfg.numNodes = 20;
+  cfg.field = Vec2{800.0, 400.0};
+  cfg.numFlows = 5;
+  cfg.duration = sim::Time::seconds(10);
+  cfg.pause = sim::Time::zero();
+
+  // Eight independent cells (a fig1-style timeout axis), one seed each —
+  // enough parallelism to saturate a typical 4-core CI runner.
+  scenario::ExperimentPlan plan("speedup", cfg);
+  plan.axis("timeout_s", {0.25, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0},
+            [](scenario::ScenarioConfig& c, double t) {
+              c.dsr = core::makeVariantConfig(core::Variant::kStaticExpiry,
+                                              sim::Time::fromSeconds(t));
+            });
+
+  const auto sweepOnce = [&plan](int j) {
+    scenario::RunnerOptions opts;
+    opts.jobs = j;
+    opts.keepRuns = true;
+    return scenario::runPlan(plan, opts);
+  };
+  const int parJobs = scenario::resolveJobs(jobs);
+  std::fprintf(stderr, "sweep-speedup: 8 cells, serial then %d jobs\n",
+               parJobs);
+  const scenario::SweepResult serial = sweepOnce(1);
+  const scenario::SweepResult parallel = sweepOnce(parJobs);
+
+  bool identical = true;
+  for (std::size_t p = 0; p < serial.points.size(); ++p) {
+    const std::string a = telemetry::aggregateJson(
+        serial.points[p].agg, serial.points[p].point.config,
+        serial.points[p].point.label);
+    const std::string b = telemetry::aggregateJson(
+        parallel.points[p].agg, parallel.points[p].point.config,
+        parallel.points[p].point.label);
+    if (a != b) {
+      identical = false;
+      std::fprintf(stderr, "DIVERGED at point %s\n",
+                   serial.points[p].point.label.c_str());
+    }
+  }
+
+  const double speedup = parallel.wallSeconds > 0.0
+                             ? serial.wallSeconds / parallel.wallSeconds
+                             : 0.0;
+  std::printf("jobs  wall_s  speedup\n");
+  std::printf("%4d  %6.2f  %7.2fx\n", 1, serial.wallSeconds, 1.0);
+  std::printf("%4d  %6.2f  %7.2fx\n", parallel.jobs, parallel.wallSeconds,
+              speedup);
+  std::printf("aggregate JSON byte-identical across job counts: %s\n",
+              identical ? "yes" : "NO");
+  return identical ? 0 : 1;
+}
+
 int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--quick] [--reps N] [--label L] [--out FILE]\n"
       "       %s --compare BASELINE CANDIDATE [--threshold T] "
       "[--report-only]\n"
+      "       %s --sweep-speedup [--jobs N]\n"
       "       %s --self-test\n",
-      argv0, argv0, argv0);
+      argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -260,6 +340,8 @@ int main(int argc, char** argv) {
   std::string comparePaths[2];
   int compareCount = -1;
   bool selfTest = false;
+  bool sweepSpeedup = false;
+  int jobs = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -281,12 +363,17 @@ int main(int argc, char** argv) {
       reportOnly = true;
     } else if (arg == "--self-test") {
       selfTest = true;
+    } else if (arg == "--sweep-speedup") {
+      sweepSpeedup = true;
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
     } else {
       return usage(argv[0]);
     }
   }
 
   if (selfTest) return runSelfTest();
+  if (sweepSpeedup) return runSweepSpeedup(jobs);
   if (compareCount == 2) {
     return runCompare(comparePaths[0], comparePaths[1], threshold,
                       reportOnly);

@@ -10,43 +10,69 @@
 // reply quality).
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "src/core/dsr_config.h"
+#include "src/scenario/bench_cli.h"
 #include "src/scenario/experiment.h"
+#include "src/scenario/runner.h"
+#include "src/scenario/sweep.h"
 #include "src/scenario/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace manet;
   using scenario::Table;
 
-  const scenario::BenchScale scale = scenario::benchScale();
+  const scenario::BenchCli cli(argc, argv, "table3_cache_metrics");
+  const scenario::BenchScale& scale = cli.scale();
   scenario::ScenarioConfig base = scenario::paperScenario(scale);
   std::printf(
       "Table 3: cache metrics — %d nodes, %d flows, %.0f s, %d seeds%s\n",
       base.numNodes, base.numFlows, base.duration.toSeconds(),
-      scale.replications, scale.full ? " (full scale)" : "");
+      cli.replications(), scale.full ? " (full scale)" : "");
 
-  const core::Variant variants[] = {
-      core::Variant::kBase,           core::Variant::kWiderError,
-      core::Variant::kAdaptiveExpiry, core::Variant::kNegCache,
-      core::Variant::kAll,
-  };
-
-  Table table({"protocol", "good_replies_pct", "invalid_routes_pct",
-               "cache_hits", "link_breaks"});
-  for (core::Variant v : variants) {
-    scenario::ScenarioConfig cfg = base;
-    cfg.dsr = core::makeVariantConfig(v);
-    std::printf("  running %s...\n", core::toString(v));
-    const auto agg = scenario::runReplicated(
-        cfg, scale.replications, {},
-        std::string("table3_") + core::toString(v));
-    table.addRow({core::toString(v), Table::num(agg.goodReplyPct.mean(), 1),
-                  Table::num(agg.invalidCacheHitPct.mean(), 1),
-                  Table::num(agg.cacheHits.mean(), 0),
-                  Table::num(agg.linkBreaks.mean(), 0)});
+  std::vector<scenario::AxisValue> variants;
+  for (core::Variant v :
+       {core::Variant::kBase, core::Variant::kWiderError,
+        core::Variant::kAdaptiveExpiry, core::Variant::kNegCache,
+        core::Variant::kAll}) {
+    variants.push_back({core::toString(v), [v](scenario::ScenarioConfig& cfg) {
+                          cfg.dsr = core::makeVariantConfig(v);
+                        }});
   }
-  table.print("Table 3 — cache-related metrics at pause 0",
-              "table3_cache_metrics.csv");
+
+  scenario::ExperimentPlan plan("table3", base);
+  plan.axis("protocol", std::move(variants))
+      .metric("good_replies_pct",
+              [](const scenario::AggregateResult& a) {
+                return a.goodReplyPct.mean();
+              },
+              1)
+      .metric("invalid_routes_pct",
+              [](const scenario::AggregateResult& a) {
+                return a.invalidCacheHitPct.mean();
+              },
+              1)
+      .metric("cache_hits",
+              [](const scenario::AggregateResult& a) {
+                return a.cacheHits.mean();
+              },
+              0)
+      .metric("link_breaks",
+              [](const scenario::AggregateResult& a) {
+                return a.linkBreaks.mean();
+              },
+              0);
+  cli.applyFilters(plan);
+
+  const scenario::SweepResult result =
+      scenario::runPlan(plan, cli.runnerOptions());
+
+  scenario::pointTable(plan, result)
+      .print("Table 3 — cache-related metrics at pause 0",
+             "table3_cache_metrics.csv");
+  std::printf("%zu points x %d seeds in %.1f s (%d jobs)\n",
+              plan.pointCount(), result.replications, result.wallSeconds,
+              result.jobs);
   return 0;
 }

@@ -136,8 +136,9 @@ int main(int argc, char** argv) {
   scenario::Table csv({"seed", "delivery", "delay_s", "overhead",
                        "throughput_kbps", "good_pct", "invalid_pct",
                        "link_breaks"});
-  const auto agg = scenario::runReplicated(cfg, seeds, [&](int i,
-                                                           const scenario::RunResult& r) {
+  const auto agg = scenario::runReplicated(
+      cfg, seeds,
+      [&](int i, const scenario::RunResult& r) {
     const auto& m = r.metrics;
     csv.addRow({std::to_string(i),
                 scenario::Table::num(m.packetDeliveryFraction(), 4),
@@ -150,7 +151,8 @@ int main(int argc, char** argv) {
     std::printf("  seed %d: delivery %.3f, delay %.3fs, overhead %.1f\n", i,
                 m.packetDeliveryFraction(), m.avgDelaySec(),
                 m.normalizedOverhead());
-  });
+      },
+      "run_scenario");
 
   std::printf(
       "\nmean over %d seed(s):\n"

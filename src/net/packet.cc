@@ -1,6 +1,5 @@
 #include "src/net/packet.h"
 
-#include <atomic>
 #include <unordered_set>
 
 namespace manet::net {
@@ -44,12 +43,23 @@ std::string Packet::summary() const {
   return s;
 }
 
+namespace {
+// Thread-local so concurrent sweep runs (one run per worker thread) assign
+// uids independently; Scenario resets it per run, making the sequence a
+// deterministic function of the run alone — not of process history or of
+// how many jobs the sweep used.
+// manet-lint: allow(shared-mutable): thread-local and reset per Scenario;
+// uids never feed back into simulation decisions, only into traces.
+thread_local std::uint64_t t_nextUid = 1;
+}  // namespace
+
 std::shared_ptr<Packet> Packet::make() {
-  static std::atomic<std::uint64_t> nextUid{1};
   auto p = std::make_shared<Packet>();
-  p->uid = nextUid.fetch_add(1, std::memory_order_relaxed);
+  p->uid = t_nextUid++;
   return p;
 }
+
+void Packet::resetUidCounter() { t_nextUid = 1; }
 
 std::shared_ptr<Packet> clone(const Packet& p) {
   return std::make_shared<Packet>(p);  // uid preserved: same logical packet

@@ -170,6 +170,14 @@ struct Packet {
 
   /// Allocate a packet with a fresh uid.
   static std::shared_ptr<Packet> make();
+
+  /// Restart uid assignment at 1. The counter is thread-local and each run
+  /// executes wholly on one thread, so a Scenario resets it at construction:
+  /// uids are then a run-local, deterministic sequence — identical whether
+  /// the run executes serially, on a sweep worker thread, or in a fresh
+  /// process (the cross-process replay and parallel-determinism tests rely
+  /// on this).
+  static void resetUidCounter();
 };
 
 using PacketPtr = std::shared_ptr<const Packet>;

@@ -8,6 +8,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
+#include <mutex>
+
+#include "src/util/logging.h"
 
 namespace manet::prof {
 
@@ -161,12 +164,16 @@ void Profiler::heartbeatSlow(std::int64_t simNowNs, std::int64_t simUntilNs,
   } else {
     eta[0] = '\0';
   }
-  std::fprintf(stderr,
-               "[prof] sim t=%.1fs | %.2fM ev/s | sim rate %.2fx | "
-               "%" PRIu64 " events | wall %.1fs%s\n",
-               static_cast<double>(simNowNs) / 1e9, evRate / 1e6, simRate,
-               executed,
-               static_cast<double>(wall - startWallNs_) / 1e9, eta);
+  {
+    // Parallel sweep runs heartbeat concurrently; never interleave lines.
+    const std::lock_guard<std::mutex> lock(util::stderrMutex());
+    std::fprintf(stderr,
+                 "[prof] sim t=%.1fs | %.2fM ev/s | sim rate %.2fx | "
+                 "%" PRIu64 " events | wall %.1fs%s\n",
+                 static_cast<double>(simNowNs) / 1e9, evRate / 1e6, simRate,
+                 executed,
+                 static_cast<double>(wall - startWallNs_) / 1e9, eta);
+  }
   lastBeatWallNs_ = wall;
   lastBeatSimNs_ = simNowNs;
   lastBeatEvents_ = executed;

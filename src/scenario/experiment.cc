@@ -1,9 +1,12 @@
 #include "src/scenario/experiment.h"
 
+#include <cmath>
 #include <cstdlib>
+#include <stdexcept>
+#include <string>
 
-#include "src/telemetry/export.h"
-#include "src/telemetry/telemetry_config.h"
+#include "src/scenario/runner.h"
+#include "src/scenario/sweep.h"
 
 namespace manet::scenario {
 
@@ -11,51 +14,62 @@ AggregateResult runReplicated(
     ScenarioConfig base, int replications,
     const std::function<void(int, const RunResult&)>& onRun,
     const std::string& label) {
-  AggregateResult agg;
-  for (int i = 0; i < replications; ++i) {
-    ScenarioConfig cfg = base;
-    cfg.mobilitySeed = base.mobilitySeed + static_cast<std::uint64_t>(i);
-    // Replications must not clobber one another's trace file.
-    if (!cfg.telemetry.traceJsonlPath.empty() && replications > 1) {
-      cfg.telemetry.traceJsonlPath =
-          telemetry::perRunPath(base.telemetry.traceJsonlPath, i);
-    }
-    RunResult r = runScenario(cfg);
-    const auto& m = r.metrics;
-    agg.deliveryFraction.add(m.packetDeliveryFraction());
-    agg.avgDelaySec.add(m.avgDelaySec());
-    agg.normalizedOverhead.add(m.normalizedOverhead());
-    agg.throughputKbps.add(m.throughputKbps(r.duration));
-    agg.goodReplyPct.add(m.goodReplyPct());
-    agg.invalidCacheHitPct.add(m.invalidCacheHitPct());
-    agg.cacheHits.add(static_cast<double>(m.cacheHits));
-    agg.linkBreaks.add(static_cast<double>(m.linkBreaksDetected));
-    if (onRun) onRun(i, r);
-    agg.runs.push_back(std::move(r));
+  if (!base.telemetry.exportDir.empty() && label.empty()) {
+    throw std::invalid_argument(
+        "runReplicated: exportDir is set but no export label was given; "
+        "every unlabelled experiment would write the same "
+        "<exportDir>/run.json and clobber the previous one — pass a unique "
+        "label (or use an ExperimentPlan, which derives one per point)");
   }
-  if (!base.telemetry.exportDir.empty()) {
-    telemetry::exportAggregate(agg, base,
-                               label.empty() ? std::string("run") : label);
+  ExperimentPlan plan(label.empty() ? std::string("run") : label, base);
+  RunnerOptions opts;
+  opts.jobs = -1;  // MANET_JOBS when set, else serial
+  if (std::getenv("MANET_JOBS") == nullptr) opts.jobs = 1;
+  opts.replications = replications;
+  opts.keepRuns = true;
+  if (onRun) {
+    opts.onRun = [&onRun](const SweepPoint&, int rep, const RunResult& r) {
+      onRun(rep, r);
+    };
   }
-  return agg;
+  SweepResult sweep = runPlan(plan, opts);
+  return std::move(sweep.points.at(0).agg);
 }
 
 BenchScale benchScale() {
   const char* full = std::getenv("REPRO_FULL");
-  if (full != nullptr && full[0] == '1') {
+  if (full != nullptr && full[0] == '1') return benchScaleNamed("full");
+  return benchScaleNamed("quick");
+}
+
+BenchScale benchScaleNamed(std::string_view name) {
+  if (name == "full") {
     return BenchScale{.numNodes = 100,
                       .duration = sim::Time::seconds(500),
                       .replications = 5,
                       .numFlows = 25,
                       .full = true};
   }
-  // Default scale: the paper's full topology and workload, but shorter
-  // runs and fewer seeds so the whole bench suite fits a small machine.
-  return BenchScale{.numNodes = 100,
-                    .duration = sim::Time::seconds(120),
-                    .replications = 2,
-                    .numFlows = 25,
-                    .full = false};
+  if (name == "quick") {
+    // Default scale: the paper's full topology and workload, but shorter
+    // runs and fewer seeds so the whole bench suite fits a small machine.
+    return BenchScale{.numNodes = 100,
+                      .duration = sim::Time::seconds(120),
+                      .replications = 2,
+                      .numFlows = 25,
+                      .full = false};
+  }
+  if (name == "tiny") {
+    // CI smoke tier: seconds per run, so determinism diffs and sanitizer
+    // jobs can afford a whole sweep per job count.
+    return BenchScale{.numNodes = 30,
+                      .duration = sim::Time::seconds(30),
+                      .replications = 1,
+                      .numFlows = 8,
+                      .full = false};
+  }
+  throw std::invalid_argument("unknown bench scale '" + std::string(name) +
+                              "' (expected tiny, quick or full)");
 }
 
 ScenarioConfig paperScenario(const BenchScale& s) {
@@ -71,6 +85,13 @@ ScenarioConfig paperScenario(const BenchScale& s) {
 }
 
 void applyScale(ScenarioConfig& cfg, const BenchScale& s) {
+  if (s.numNodes != 100) {
+    // Preserve area-per-node (the paper: 100 nodes on 2200 m x 600 m) so
+    // a smaller tier stays as connected as the full field.
+    const double shrink = std::sqrt(static_cast<double>(s.numNodes) / 100.0);
+    cfg.field.x *= shrink;
+    cfg.field.y *= shrink;
+  }
   cfg.numNodes = s.numNodes;
   cfg.duration = s.duration;
   cfg.numFlows = s.numFlows;

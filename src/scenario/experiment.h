@@ -2,10 +2,14 @@
 // aggregate the paper's metrics ("each data point represents an average of
 // five runs with identical traffic models, but different randomly generated
 // mobility scenarios").
+//
+// runReplicated is the single-point convenience wrapper; full grids go
+// through ExperimentPlan + runPlan (src/scenario/sweep.h, runner.h).
 #pragma once
 
 #include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/scenario/scenario.h"
@@ -22,15 +26,22 @@ struct AggregateResult {
   util::RunningStats invalidCacheHitPct;
   util::RunningStats cacheHits;
   util::RunningStats linkBreaks;
+  /// Full per-run results. Populated by runReplicated; runPlan drops them
+  /// after export unless RunnerOptions.keepRuns is set (a large sweep must
+  /// not retain every run's sampled series and profile in memory).
   std::vector<RunResult> runs;
 };
 
 /// Run `replications` copies of `base`, varying the mobility seed per run
 /// (base.mobilitySeed + i), and aggregate. `onRun` (optional) observes each
-/// completed run (progress reporting in benches). `label` names the
-/// experiment in structured exports: when base.telemetry.exportDir is set
-/// (e.g. via MANET_EXPORT_DIR), the aggregate is written to
-/// <exportDir>/<label>.json plus per-run series CSVs.
+/// completed run in seed order. `label` names the experiment in structured
+/// exports: when base.telemetry.exportDir is set (e.g. via
+/// MANET_EXPORT_DIR), the aggregate is written to <exportDir>/<label>.json
+/// plus per-run series CSVs. An empty label with a non-empty exportDir is a
+/// hard error (std::invalid_argument): every caller used to fall back to
+/// the same "run.json", so concurrent or sequential experiments silently
+/// clobbered each other's artifacts. Honors MANET_JOBS for parallel seed
+/// execution (default serial); output is byte-identical either way.
 AggregateResult runReplicated(
     ScenarioConfig base, int replications,
     const std::function<void(int, const RunResult&)>& onRun = {},
@@ -48,8 +59,15 @@ struct BenchScale {
 };
 BenchScale benchScale();
 
-/// Apply the scale to a config (keeps node density roughly paper-like by
-/// shrinking the field with the node count).
+/// Scale tier by name: "tiny" (30 nodes, 30 s, 1 seed — CI determinism and
+/// sanitizer smoke), "quick" (the default tier), "full" (the paper's
+/// scale). Throws std::invalid_argument on anything else.
+BenchScale benchScaleNamed(std::string_view name);
+
+/// Apply the scale to a config. When the node count differs from the
+/// paper's 100, the field shrinks proportionally (same area per node) so
+/// smaller tiers keep paper-like density instead of going sparse and
+/// disconnected.
 void applyScale(ScenarioConfig& cfg, const BenchScale& s);
 
 /// The paper's evaluation scenario (Section 4.1) at the given scale:

@@ -54,6 +54,10 @@ void ScenarioConfig::validate() const {
 
 Scenario::Scenario(const ScenarioConfig& cfg) : cfg_(cfg) {
   cfg_.validate();
+  // Packet uids restart at 1 for every run so traces are a deterministic
+  // function of the config alone — byte-identical whether the run executes
+  // serially, on a sweep worker thread, or in a fresh process.
+  net::Packet::resetUidCounter();
   net::NetworkConfig netCfg{cfg.phy, cfg.mac, cfg.protocol, cfg.dsr,
                             cfg.aodv};
   // Seed the network (MAC jitter, DSR jitter) from the mobility seed so a

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
 
 #include "src/prof/profiler.h"
 
@@ -143,7 +144,10 @@ std::string aggregateJson(const scenario::AggregateResult& agg,
   out += "},\"runs\":[";
   for (std::size_t i = 0; i < agg.runs.size(); ++i) {
     if (i > 0) out += ',';
-    out += runResultJson(agg.runs[i]);
+    // Volatile-free per-run entries: aggregate artifacts must be a pure
+    // function of the configuration, byte-identical across hosts, repeat
+    // runs, and sweep job counts (the parallel-determinism tests diff them).
+    out += runResultJson(agg.runs[i], /*includeVolatile=*/false);
   }
   out += "]}";
   return out;
@@ -170,6 +174,12 @@ bool writeFile(const std::string& path, std::string_view content) {
   std::error_code ec;
   const std::filesystem::path p(path);
   if (p.has_parent_path()) {
+    // Parallel sweep workers export concurrently; serialize directory
+    // creation so racing mkdir calls cannot spuriously fail.
+    // manet-lint: allow(shared-mutable): process-wide mutex guarding
+    // filesystem mutation only; no simulation state.
+    static std::mutex dirMutex;
+    const std::lock_guard<std::mutex> lock(dirMutex);
     std::filesystem::create_directories(p.parent_path(), ec);
   }
   std::ofstream out(path, std::ios::binary | std::ios::trunc);

@@ -29,6 +29,9 @@ std::string runResultJson(const scenario::RunResult& r,
 
 /// A replicated experiment: label, scenario parameters, per-metric
 /// aggregate statistics (mean/stddev/min/max/n) and every run's metrics.
+/// Per-run entries are volatile-free (no wall_seconds / profile block), so
+/// the artifact is a pure function of the configuration — byte-identical
+/// across hosts, repeat runs, and sweep job counts.
 std::string aggregateJson(const scenario::AggregateResult& agg,
                           const scenario::ScenarioConfig& cfg,
                           std::string_view label);

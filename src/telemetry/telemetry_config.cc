@@ -68,14 +68,32 @@ TelemetryConfig TelemetryConfig::fromEnv(TelemetryConfig base) {
   return base;
 }
 
-std::string perRunPath(const std::string& path, int run) {
+namespace {
+
+/// Insert `suffix` before the path's extension (or append when the basename
+/// has none; a dot inside a directory component is not an extension).
+std::string insertBeforeExtension(const std::string& path,
+                                  const std::string& suffix) {
   const std::size_t dot = path.rfind('.');
-  const std::string suffix = ".r" + std::to_string(run);
   if (dot == std::string::npos || dot == 0 ||
       path.find('/', dot) != std::string::npos) {
     return path + suffix;
   }
   return path.substr(0, dot) + suffix + path.substr(dot);
+}
+
+}  // namespace
+
+std::string perRunPath(const std::string& path, int run) {
+  return insertBeforeExtension(path, ".r" + std::to_string(run));
+}
+
+std::string perRunPath(const std::string& path, std::string_view pointLabel,
+                       int run) {
+  std::string suffix = ".";
+  suffix += pointLabel;
+  suffix += ".r" + std::to_string(run);
+  return insertBeforeExtension(path, suffix);
 }
 
 }  // namespace manet::telemetry

@@ -15,6 +15,7 @@
 
 #include <cstddef>
 #include <string>
+#include <string_view>
 
 #include "src/sim/time.h"
 #include "src/util/logging.h"
@@ -46,7 +47,17 @@ struct TelemetryConfig {
 };
 
 /// Path variant for replicated runs: "trace.jsonl" -> "trace.r2.jsonl".
+/// Paths without an extension get the suffix appended ("trace" ->
+/// "trace.r2"); a dot inside a directory name is not an extension
+/// ("out.d/trace" -> "out.d/trace.r2").
 std::string perRunPath(const std::string& path, int run);
+
+/// Sweep variant: tags the path with the sweep point's label before the
+/// replication suffix, so every (point x seed) run of a parallel sweep
+/// streams its trace to its own file: "trace.jsonl" ->
+/// "trace.fig1_t0.25.r1.jsonl".
+std::string perRunPath(const std::string& path, std::string_view pointLabel,
+                       int run);
 
 /// Parse "none|error|info|debug|trace" (case-insensitive; also accepts
 /// 0..4). Unknown strings return `fallback`.

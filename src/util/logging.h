@@ -9,10 +9,18 @@
 // Output goes to stderr unless a LogSink is installed; the telemetry layer
 // installs one so log lines become trace records and both share a single
 // verbosity config (ScenarioConfig.telemetry.logLevel / MANET_LOG_LEVEL).
+//
+// Thread model (the parallel sweep runner executes whole runs on worker
+// threads): the level is a process-wide atomic, the sink is thread-local —
+// each run installs its capture sink on the thread it runs on, so parallel
+// runs can never cross-wire log lines into each other's traces — and the
+// default stderr writer serializes lines through stderrMutex(), which the
+// profiler heartbeat shares.
 #pragma once
 
 #include <cstdio>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <string_view>
 
@@ -23,8 +31,14 @@ enum class LogLevel { kNone = 0, kError, kInfo, kDebug, kTrace };
 LogLevel logLevel();
 void setLogLevel(LogLevel level);
 
+/// Process-wide mutex serializing raw stderr lines (log fallback writer,
+/// profiler heartbeat, runner progress), so concurrent runs never interleave
+/// partial lines.
+std::mutex& stderrMutex();
+
 /// Redirect formatted log lines (e.g. into a telemetry TraceSink). Pass an
-/// empty function to restore the default stderr writer.
+/// empty function to restore the default stderr writer. Thread-local: the
+/// sink applies only to log calls made on the installing thread.
 using LogSinkFn = std::function<void(LogLevel, std::string_view)>;
 void setLogSink(LogSinkFn sink);
 

@@ -52,6 +52,31 @@ TEST(ReplayDeterminismTest, SeparateProcessesProduceByteIdenticalExport) {
                                  "processes";
 }
 
+TEST(ReplayDeterminismTest, ParallelSweepMatchesSerialAcrossProcesses) {
+  // The parallel runner's determinism contract, cross-process: a --jobs 4
+  // sweep in one process must write byte-identical aggregate artifacts to a
+  // --jobs 1 sweep in another.
+  const std::string dir = ::testing::TempDir();
+  const std::string serialCmd = std::string(REPLAY_RUNNER_PATH) +
+                                " --sweep " + dir + "sweep_serial 1";
+  const std::string parallelCmd = std::string(REPLAY_RUNNER_PATH) +
+                                  " --sweep " + dir + "sweep_parallel 4";
+  ASSERT_EQ(std::system(serialCmd.c_str()), 0) << serialCmd;
+  ASSERT_EQ(std::system(parallelCmd.c_str()), 0) << parallelCmd;
+
+  for (const char* label :
+       {"replay_sweep_pause_s=0", "replay_sweep_pause_s=5"}) {
+    const std::string a = slurp(dir + "sweep_serial." + label + ".json");
+    const std::string b = slurp(dir + "sweep_parallel." + label + ".json");
+    ASSERT_FALSE(a.empty()) << label;
+    // Per-run entries are embedded and volatile-free.
+    EXPECT_NE(a.find("\"runs\""), std::string::npos) << label;
+    EXPECT_EQ(a.find("wall_seconds"), std::string::npos) << label;
+    EXPECT_EQ(a, b) << "sweep point " << label
+                    << " diverged between --jobs 1 and --jobs 4";
+  }
+}
+
 TEST(ReplayDeterminismTest, DifferentSeedDiverges) {
   const std::string dir = ::testing::TempDir();
   runOnce(dir + "replay_c", "4242");

@@ -115,5 +115,16 @@ TEST(PerRunPathTest, InsertsRunIndexBeforeExtension) {
   EXPECT_EQ(perRunPath("noext", 1), "noext.r1");
 }
 
+TEST(PerRunPathTest, SweepOverloadTagsPointLabelBeforeRunIndex) {
+  EXPECT_EQ(perRunPath("trace.jsonl", "fig1_timeout_s=0.25", 1),
+            "trace.fig1_timeout_s=0.25.r1.jsonl");
+  EXPECT_EQ(perRunPath("noext", "p", 0), "noext.p.r0");
+  // A dot inside a directory name is not an extension.
+  EXPECT_EQ(perRunPath("/tmp/a.b/trace", "p", 2), "/tmp/a.b/trace.p.r2");
+  // Distinct points always map to distinct files for the same rep.
+  EXPECT_NE(perRunPath("t.jsonl", "sweep_a=1", 0),
+            perRunPath("t.jsonl", "sweep_a=2", 0));
+}
+
 }  // namespace
 }  // namespace manet::telemetry

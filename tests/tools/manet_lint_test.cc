@@ -224,6 +224,49 @@ TEST(ManetLintTest, IostreamFlaggedInSrcOnly) {
   EXPECT_TRUE(lintSource("tests/x.cc", "#include <iostream>\n").empty());
 }
 
+// ----------------------------------------------------------- shared-mutable
+
+TEST(ManetLintTest, SharedMutableFlagsStaticLocal) {
+  const auto fs = lintSource(
+      "src/core/x.cc", "int next() { static int counter = 0; return ++counter; }\n");
+  ASSERT_TRUE(hasRule(fs, "shared-mutable"));
+  EXPECT_EQ(lineOf(fs, "shared-mutable"), 1);
+}
+
+TEST(ManetLintTest, SharedMutableFlagsThreadLocalAndGlobals) {
+  EXPECT_TRUE(hasRule(
+      lintSource("src/net/x.cc", "thread_local int t_count = 0;\n"),
+      "shared-mutable"));
+  EXPECT_TRUE(hasRule(
+      lintSource("src/sim/x.cc", "std::atomic<int> g_flag{0};\n"),
+      "shared-mutable"));
+}
+
+TEST(ManetLintTest, SharedMutableIgnoresConstAndFunctions) {
+  EXPECT_TRUE(lintSource("src/core/x.cc",
+                         "static const int kLimit = 8;\n"
+                         "static constexpr double kPi = 3.14;\n")
+                  .empty());
+  EXPECT_TRUE(lintSource("src/core/x.cc",
+                         "static int helper(int a) { return a + 1; }\n")
+                  .empty());
+}
+
+TEST(ManetLintTest, SharedMutableSuppressible) {
+  const auto fs = lintSource(
+      "src/util/x.cc",
+      "// manet-lint: allow(shared-mutable): stderr serialization only\n"
+      "static std::mutex g_mutex;\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(ManetLintTest, SharedMutableOutOfScopeOutsideSrc) {
+  EXPECT_TRUE(
+      lintSource("bench/x.cc", "static int g_progress = 0;\n").empty());
+  EXPECT_TRUE(
+      lintSource("tests/x_test.cc", "static int g_calls = 0;\n").empty());
+}
+
 // ------------------------------------------------------------ allow syntax
 
 TEST(ManetLintTest, BareAllowIsItselfAFindingAndDoesNotSuppress) {

@@ -52,6 +52,14 @@ const std::vector<RuleInfo> kRules = {
      "writes from library code; use util::log (captured by telemetry) or "
      "return data to the caller. Binaries under bench/, examples/, tests/ "
      "may print freely."},
+    {"shared-mutable",
+     "non-const global/static-local state in src/ outside allowlisted sinks",
+     "A mutable global or function-local static is shared by every Scenario "
+     "in the process — and, under the parallel sweep runner, by every worker "
+     "thread — so it either data-races or couples runs together and breaks "
+     "bit-identical replay. Keep state per-Scenario; a true process-wide "
+     "sink (log level, stderr mutex) or a thread_local with a per-run reset "
+     "must carry an allow comment stating why it cannot perturb results."},
     {"bare-allow",
      "manet-lint allow() comment without a justification",
      "Every suppression must record why the flagged construct cannot perturb "
@@ -459,6 +467,88 @@ void checkSchedulerCategories(const std::string& code,
   }
 }
 
+/// shared-mutable: `static` / `thread_local` declarations of mutable
+/// objects, plus namespace-scope `g_*` definitions (the repo's convention
+/// for process globals, which need no `static` inside an anonymous
+/// namespace). Function declarations are skipped by shape: their extent
+/// hits '(' before any initializer or terminator.
+void checkSharedMutable(const std::string& code,
+                        const std::map<int, Allow>& allows,
+                        const std::string& relPath,
+                        std::vector<Finding>* out) {
+  const auto lineOf = [&code](std::size_t pos) {
+    return 1 + static_cast<int>(std::count(
+                   code.begin(),
+                   code.begin() + static_cast<std::ptrdiff_t>(pos), '\n'));
+  };
+  const auto emit = [&](std::size_t pos, const std::string& what) {
+    const int line = lineOf(pos);
+    if (isAllowed(allows, line, "shared-mutable")) return;
+    out->push_back({relPath, line, "shared-mutable",
+                    what + "; per-run state belongs on the Scenario — a "
+                           "deliberate process-wide sink needs an allow "
+                           "comment with its safety argument"});
+  };
+
+  static const std::regex kKeyword(R"(\b(static|thread_local)\b)");
+  for (auto it = std::sregex_iterator(code.begin(), code.end(), kKeyword);
+       it != std::sregex_iterator(); ++it) {
+    const auto start = static_cast<std::size_t>(it->position(0));
+    // Walk the declaration head: stop at the initializer ('=' or '{'), a
+    // parameter list '(' (=> function, skip), or the terminator ';'
+    // (uninitialized variable). Angle brackets nest template arguments.
+    std::size_t j = start + it->length(0);
+    int angle = 0;
+    char stop = '\0';
+    while (j < code.size()) {
+      const char c = code[j];
+      if (c == '<') ++angle;
+      if (c == '>' && angle > 0) --angle;
+      if (angle == 0 && (c == '=' || c == '{' || c == '(' || c == ';')) {
+        stop = c;
+        break;
+      }
+      ++j;
+    }
+    if (stop == '\0' || stop == '(') continue;  // function decl/definition
+    const std::string head = code.substr(start, j - start);
+    static const std::regex kConst(R"(\b(const|constexpr|constinit)\b)");
+    if (std::regex_search(head, kConst)) continue;
+    emit(start, "mutable '" + it->str(1) + "' object");
+  }
+
+  // Namespace-scope globals by naming convention: `Type g_name = ...;` has
+  // no `static` keyword inside an anonymous namespace.
+  static const std::regex kGlobal(R"(\bg_\w+\s*(\{|=[^=]|;))");
+  for (auto it = std::sregex_iterator(code.begin(), code.end(), kGlobal);
+       it != std::sregex_iterator(); ++it) {
+    const auto start = static_cast<std::size_t>(it->position(0));
+    // Skip if this g_ token sits inside a `static`/`thread_local` head the
+    // pass above already judged (flagged or const-cleared).
+    const std::size_t lineStart = code.rfind('\n', start) + 1;
+    const std::string prefix = code.substr(lineStart, start - lineStart);
+    static const std::regex kHandled(
+        R"(\b(static|thread_local|const|constexpr|constinit)\b)");
+    if (std::regex_search(prefix, kHandled)) continue;
+    // Declarations start the statement with a type name; assignments to an
+    // already-flagged global start with the g_ token itself. Require the
+    // prefix to look like `Type ` — template/identifier characters only,
+    // with at least one identifier character present.
+    const bool typeShaped =
+        prefix.find_first_not_of(
+            " \t:<>,&*ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+            "abcdefghijklmnopqrstuvwxyz0123456789_") == std::string::npos &&
+        std::any_of(prefix.begin(), prefix.end(), [](unsigned char c) {
+          return std::isalnum(c) != 0;
+        });
+    if (!typeShaped) continue;
+    emit(start, "namespace-scope mutable global '" +
+                    it->str(0).substr(0, it->str(0).find_first_of(
+                                             " \t{=;")) +
+                    "'");
+  }
+}
+
 // ------------------------------------------------------------- self-test
 
 struct Fixture {
@@ -535,6 +625,30 @@ const Fixture kFixtures[] = {
      "bare-allow"},
     {"unknown rule flagged", "src/core/bad_rule.cc",
      "// manet-lint: allow(raw-rgn): typo\nint x;\n", "unknown-rule"},
+    {"shared-mutable static hit", "src/core/bad_static.cc",
+     "int nextId() {\n  static int counter = 0;\n  return ++counter;\n}\n",
+     "shared-mutable"},
+    {"shared-mutable thread_local hit", "src/net/bad_tls.cc",
+     "thread_local unsigned t_scratch = 0;\n", "shared-mutable"},
+    {"shared-mutable g_ global hit", "src/util/bad_global.cc",
+     "#include <atomic>\nnamespace {\nstd::atomic<bool> g_flag{false};\n}\n",
+     "shared-mutable"},
+    {"shared-mutable const clean", "src/core/ok_static.cc",
+     "static const int kTableSize = 64;\n"
+     "static constexpr double kAlpha = 2.0;\n",
+     nullptr},
+    {"shared-mutable function decl clean", "src/core/ok_static_fn.cc",
+     "struct Packet {\n  static void resetUidCounter();\n};\n"
+     "static int helper(int x) { return x + 1; }\n",
+     nullptr},
+    {"shared-mutable allowlisted", "src/util/ok_sink.cc",
+     "#include <mutex>\nstd::mutex& sinkMutex() {\n"
+     "  // manet-lint: allow(shared-mutable): stderr serialization only,\n"
+     "  // never read by simulation code\n"
+     "  static std::mutex m;\n  return m;\n}\n",
+     nullptr},
+    {"shared-mutable fine outside src", "bench/ok_static.cc",
+     "static int callCount = 0;\n", nullptr},
     {"comment mention clean", "src/core/ok_comment.cc",
      "// rand() and steady_clock are banned here; see DESIGN.md\nint x;\n",
      nullptr},
@@ -617,6 +731,9 @@ std::vector<Finding> lintSource(const std::string& relPath,
   }
   if (inSrc && !startsWith(relPath, "src/sim/scheduler.")) {
     checkSchedulerCategories(lexed.code, allows, relPath, &out);
+  }
+  if (inSrc) {
+    checkSharedMutable(lexed.code, allows, relPath, &out);
   }
 
   std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
