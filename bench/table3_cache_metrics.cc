@@ -62,7 +62,36 @@ int main(int argc, char** argv) {
               [](const scenario::AggregateResult& a) {
                 return a.linkBreaks.mean();
               },
-              0);
+              0)
+      // Provenance attribution (causal trace layer): where the stale
+      // entries behind the invalid hits were learned — from route replies
+      // (target / cached / gratuitous) vs passively (snooping, forwarding,
+      // delivery, reverse request paths). Percentages of all invalid hits.
+      .metric("inv_from_replies_pct",
+              [](const scenario::AggregateResult& a) {
+                using O = net::RouteOrigin;
+                const double replies = a.meanInvalidHits(
+                    {O::kTargetReply, O::kCachedReply, O::kGratuitous});
+                const double all = a.meanInvalidHits(
+                    {O::kTargetReply, O::kCachedReply, O::kGratuitous,
+                     O::kReverseRequest, O::kForwarded, O::kDelivered,
+                     O::kSnooped, O::kSeeded, O::kNone});
+                return all > 0.0 ? 100.0 * replies / all : 0.0;
+              },
+              1)
+      .metric("inv_from_passive_pct",
+              [](const scenario::AggregateResult& a) {
+                using O = net::RouteOrigin;
+                const double passive = a.meanInvalidHits(
+                    {O::kReverseRequest, O::kForwarded, O::kDelivered,
+                     O::kSnooped});
+                const double all = a.meanInvalidHits(
+                    {O::kTargetReply, O::kCachedReply, O::kGratuitous,
+                     O::kReverseRequest, O::kForwarded, O::kDelivered,
+                     O::kSnooped, O::kSeeded, O::kNone});
+                return all > 0.0 ? 100.0 * passive / all : 0.0;
+              },
+              1);
   cli.applyFilters(plan);
 
   const scenario::SweepResult result =

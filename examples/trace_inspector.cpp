@@ -10,8 +10,13 @@
 //
 // `./trace_inspector --bench BENCH_x.json` instead pretty-prints a
 // perf-baseline report (see bench/perf_baseline and src/prof/bench_report.h).
+//
+// `./trace_inspector <trace.jsonl> --causal <uid>` prints the causal chain
+// of one packet (a passthrough to tools/manet_trace --chain; see
+// src/telemetry/causal.h for the full analysis surface).
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -20,6 +25,7 @@
 
 #include "src/prof/bench_report.h"
 #include "src/scenario/scenario.h"
+#include "src/telemetry/causal.h"
 #include "src/telemetry/trace_reader.h"
 
 using namespace manet;
@@ -153,26 +159,60 @@ int inspectBench(const std::string& path) {
 
 int main(int argc, char** argv) {
   std::string path;
+  std::uint64_t causalUid = 0;
   if (argc == 3 && std::string(argv[1]) == "--bench") {
     return inspectBench(argv[2]);
   } else if (argc == 2 && std::string(argv[1]) == "--demo") {
     path = writeDemoTrace(false);
   } else if (argc == 2 && std::string(argv[1]) == "--demo-faults") {
     path = writeDemoTrace(true);
-  } else if (argc == 2) {
+  } else if (argc == 4 && std::string(argv[2]) == "--causal") {
+    path = argv[1];
+    causalUid = std::strtoull(argv[3], nullptr, 10);
+    if (causalUid == 0) {
+      std::fprintf(stderr, "--causal: '%s' is not a packet uid\n", argv[3]);
+      return 2;
+    }
+  } else if (argc == 2 && std::string(argv[1]) != "--help" &&
+             std::string(argv[1]) != "-h") {
     path = argv[1];
   } else {
-    std::fprintf(stderr,
-                 "usage: %s <trace.jsonl> | --demo | --demo-faults |"
-                 " --bench <BENCH_x.json>\n",
-                 argv[0]);
+    std::fprintf(
+        stderr,
+        "usage: %s <trace.jsonl>                summarise a JSONL trace\n"
+        "       %s <trace.jsonl> --causal <uid> print one packet's causal\n"
+        "                                       chain (same output as\n"
+        "                                       manet_trace --chain <uid>)\n"
+        "       %s --demo | --demo-faults       run a demo scenario first\n"
+        "       %s --bench <BENCH_x.json>       pretty-print a perf report\n",
+        argv[0], argv[0], argv[0], argv[0]);
     return 2;
   }
 
-  const auto lines = telemetry::readJsonlFile(path);
-  if (!lines) {
+  const auto checked = telemetry::readJsonlFileChecked(path);
+  if (!checked) {
     std::fprintf(stderr, "cannot open %s\n", path.c_str());
     return 1;
+  }
+  if (checked->skipped > 0) {
+    std::fprintf(stderr, "%s: skipped %zu malformed line(s):\n", path.c_str(),
+                 checked->skipped);
+    for (const std::string& e : checked->errors) {
+      std::fprintf(stderr, "  %s\n", e.c_str());
+    }
+  }
+  const std::vector<std::string>* lines = &checked->lines;
+
+  if (causalUid != 0) {
+    const telemetry::CausalIndex idx =
+        telemetry::CausalIndex::fromLines(*lines);
+    if (idx.packetRecords(causalUid).empty()) {
+      std::fprintf(stderr, "no records for packet uid %llu\n",
+                   static_cast<unsigned long long>(causalUid));
+      return 1;
+    }
+    std::fputs(idx.renderChain(causalUid).c_str(), stdout);
+    return 0;
   }
 
   std::map<std::string, std::uint64_t> eventTotals;

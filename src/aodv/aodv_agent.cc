@@ -56,6 +56,8 @@ const AodvAgent::RouteEntry* AodvAgent::route(net::NodeId dst) const {
 void AodvAgent::sendData(net::NodeId dst, std::uint32_t payloadBytes,
                          std::uint32_t flowId, std::uint64_t seqInFlow) {
   if (metrics_) ++metrics_->dataOriginated;
+  // manet-lint: allow(causal-id): root origination — new application data
+  // starts a causal chain, it has no parent packet
   auto p = net::Packet::make();
   p->kind = net::PacketKind::kData;
   p->src = self_;
@@ -79,9 +81,10 @@ void AodvAgent::sendData(net::NodeId dst, std::uint32_t payloadBytes,
     mac_.send(std::move(p), it->second.nextHop, /*priority=*/false);
     return;
   }
+  const std::uint64_t triggerUid = p->uid;
   auto evicted = sendBuf_.push(std::move(p), dst, sched_.now());
   if (metrics_) metrics_->dropSendBufferOverflow += evicted.size();
-  startDiscovery(dst);
+  startDiscovery(dst, triggerUid);
 }
 
 // ---------------------------------------------------------------- receive
@@ -131,6 +134,7 @@ void AodvAgent::forwardData(const net::PacketPtr& p) {
     const std::uint32_t deadSeq =
         it != routes_.end() ? it->second.seqNo + 1 : 1;
     err->aodvRerr = net::AodvRerrHdr{{{p->dst, deadSeq}}};
+    err->causeUid = p->uid;  // chain the RERR to the undeliverable packet
     mac_.send(std::move(err), net::kBroadcast, /*priority=*/true);
     return;
   }
@@ -159,11 +163,13 @@ void AodvAgent::handleRreq(const net::PacketPtr& p, net::NodeId from) {
     // at least as fresh as anything the request has seen.
     ownSeq_ = std::max(ownSeq_ + 1, req.targetSeq);
     if (metrics_) ++metrics_->targetRepliesGenerated;
-    sendRrep(req.origin, net::AodvRrepHdr{.origin = req.origin,
-                                          .target = self_,
-                                          .targetSeq = ownSeq_,
-                                          .hopCount = 0,
-                                          .fromIntermediate = false});
+    sendRrep(req.origin,
+             net::AodvRrepHdr{.origin = req.origin,
+                              .target = self_,
+                              .targetSeq = ownSeq_,
+                              .hopCount = 0,
+                              .fromIntermediate = false},
+             p->uid);
     return;
   }
 
@@ -185,7 +191,8 @@ void AodvAgent::handleRreq(const net::PacketPtr& p, net::NodeId from) {
                                 .target = req.target,
                                 .targetSeq = it->second.seqNo,
                                 .hopCount = it->second.hopCount,
-                                .fromIntermediate = true});
+                                .fromIntermediate = true},
+               p->uid);
       return;
     }
   }
@@ -204,7 +211,8 @@ void AodvAgent::handleRreq(const net::PacketPtr& p, net::NodeId from) {
       prof::Category::kRouting);
 }
 
-void AodvAgent::sendRrep(net::NodeId toward, const net::AodvRrepHdr& hdr) {
+void AodvAgent::sendRrep(net::NodeId toward, const net::AodvRrepHdr& hdr,
+                         std::uint64_t causeUid) {
   auto it = routes_.find(toward);
   if (it == routes_.end() || !it->second.valid) return;  // reverse path died
   auto p = net::Packet::make();
@@ -213,6 +221,7 @@ void AodvAgent::sendRrep(net::NodeId toward, const net::AodvRrepHdr& hdr) {
   p->dst = toward;
   p->originatedAt = sched_.now();
   p->aodvRrep = hdr;
+  p->causeUid = causeUid;  // reply answers that request
   // Precursor bookkeeping: the reverse next hop will route through us.
   if (hdr.target != self_) {
     auto fwdIt = routes_.find(hdr.target);
@@ -278,6 +287,7 @@ void AodvAgent::handleRerr(const net::PacketPtr& p, net::NodeId from) {
   err->src = self_;
   err->dst = net::kBroadcast;
   err->aodvRerr = net::AodvRerrHdr{std::move(propagate)};
+  err->causeUid = p->uid;  // propagated RERR descends from the received one
   if (metrics_) ++metrics_->rerrWideRebroadcasts;
   mac_.send(std::move(err), net::kBroadcast, /*priority=*/true);
 }
@@ -291,13 +301,13 @@ void AodvAgent::onSendFailed(net::PacketPtr p, net::NodeId nextHop) {
     }
   }
   mac_.purgeNextHop(nextHop);
-  invalidateVia(nextHop);
+  invalidateVia(nextHop, p->uid);
   if (p->kind == net::PacketKind::kData && metrics_) {
     ++metrics_->dropLinkFailNoSalvage;  // AODV has no salvaging
   }
 }
 
-void AodvAgent::invalidateVia(net::NodeId nextHop) {
+void AodvAgent::invalidateVia(net::NodeId nextHop, std::uint64_t causeUid) {
   std::vector<std::pair<net::NodeId, std::uint32_t>> unreachable;
   for (auto& [dst, entry] : routes_) {
     if (!entry.valid || entry.nextHop != nextHop) continue;
@@ -313,16 +323,18 @@ void AodvAgent::invalidateVia(net::NodeId nextHop) {
   err->src = self_;
   err->dst = net::kBroadcast;
   err->aodvRerr = net::AodvRerrHdr{std::move(unreachable)};
+  err->causeUid = causeUid;  // the packet whose failed send exposed the link
   mac_.send(std::move(err), net::kBroadcast, /*priority=*/true);
 }
 
 // ------------------------------------------------------------- discovery
 
-void AodvAgent::startDiscovery(net::NodeId target) {
+void AodvAgent::startDiscovery(net::NodeId target, std::uint64_t causeUid) {
   DiscoveryState& st = discovery_[target];
   if (st.active) return;
   st.active = true;
   st.backoff = cfg_.discoveryTimeout;
+  st.causeUid = causeUid;
   if (metrics_) ++metrics_->routeDiscoveriesStarted;
   sendRreq(target);
   st.pendingEvent = sched_.scheduleAfter(
@@ -363,6 +375,7 @@ void AodvAgent::sendRreq(net::NodeId target) {
   p->src = self_;
   p->dst = net::kBroadcast;
   p->originatedAt = sched_.now();
+  p->causeUid = discovery_[target].causeUid;  // data pkt behind the discovery
   auto it = routes_.find(target);
   const bool haveSeq = it != routes_.end() && it->second.validSeq;
   p->aodvRreq = net::AodvRreqHdr{

@@ -58,6 +58,9 @@ class AodvAgent final : public net::RoutingAgent {
     bool active = false;
     sim::Time backoff;
     sim::EventId pendingEvent = sim::kInvalidEvent;
+    /// Uid of the data packet that triggered this discovery; every RREQ of
+    /// the discovery carries it as its causal parent.
+    std::uint64_t causeUid = 0;
   };
 
   void onReceive(net::PacketPtr p, net::NodeId from);
@@ -68,11 +71,13 @@ class AodvAgent final : public net::RoutingAgent {
   void handleRrep(const net::PacketPtr& p, net::NodeId from);
   void handleRerr(const net::PacketPtr& p, net::NodeId from);
 
-  void startDiscovery(net::NodeId target);
+  void startDiscovery(net::NodeId target, std::uint64_t causeUid = 0);
   void onDiscoveryTimeout(net::NodeId target);
   void endDiscovery(net::NodeId target);
   void sendRreq(net::NodeId target);
-  void sendRrep(net::NodeId toward, const net::AodvRrepHdr& hdr);
+  /// `causeUid` links the reply to the request it answers.
+  void sendRrep(net::NodeId toward, const net::AodvRrepHdr& hdr,
+                std::uint64_t causeUid);
 
   /// Update/refresh a route entry from observed traffic; returns true if
   /// the new information was accepted (fresher or shorter).
@@ -81,7 +86,9 @@ class AodvAgent final : public net::RoutingAgent {
   void refreshLifetime(net::NodeId dst);
   void forwardData(const net::PacketPtr& p);
   void drainSendBuffer();
-  void invalidateVia(net::NodeId nextHop);
+  /// `causeUid` (when nonzero) chains the resulting RERR broadcast to the
+  /// packet whose transmission failure exposed the dead link.
+  void invalidateVia(net::NodeId nextHop, std::uint64_t causeUid = 0);
   void periodicSweep();
   bool rreqSeen(net::NodeId origin, std::uint32_t id);
 

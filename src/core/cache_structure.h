@@ -22,9 +22,20 @@
 
 namespace manet::core {
 
+/// A cache lookup result: the route plus the provenance of the cache entry
+/// it came from. For path caches this is the stored path's birth record; for
+/// link caches — where a route composes links learned at different times —
+/// it is the provenance of the *oldest* constituent link, i.e. the entry
+/// most likely to be stale and therefore the one a later failure should be
+/// attributed to.
+struct RouteLookup {
+  std::vector<net::NodeId> hops;
+  net::RouteProvenance prov{};
+};
+
 class RouteCacheBase {
  public:
-  /// Predicate over links; findRoute must not return a route using a
+  /// Predicate over links; lookups must not return a route using a
   /// rejected link (negative-cache mutual exclusion).
   using LinkFilter = std::function<bool(net::LinkId)>;
 
@@ -32,11 +43,27 @@ class RouteCacheBase {
 
   /// Learn a route (hops.front() must be the owning node, length >= 2,
   /// loop-free). Returns true if any information was stored/refreshed.
-  virtual bool insert(std::span<const net::NodeId> hops, sim::Time now) = 0;
+  /// `origin` names the protocol event that taught us the route; when a new
+  /// entry is actually stored (and origin != kNone) the cache mints a
+  /// RouteProvenance for it, so later lookups, stale uses and drops can be
+  /// joined back to this insertion. Re-learning an existing entry keeps its
+  /// original provenance (matching the first-entered addedAt semantics).
+  virtual bool insert(std::span<const net::NodeId> hops, sim::Time now,
+                      net::RouteOrigin origin = net::RouteOrigin::kNone) = 0;
 
-  /// Best-known route from the owner to `dest`, or nullopt.
-  virtual std::optional<std::vector<net::NodeId>> findRoute(
+  /// Best-known route from the owner to `dest` with the provenance of the
+  /// entry that produced it, or nullopt.
+  virtual std::optional<RouteLookup> lookup(
       net::NodeId dest, const LinkFilter& acceptLink = {}) const = 0;
+
+  /// Best-known route from the owner to `dest`, or nullopt. Convenience
+  /// wrapper over lookup() for callers that don't need provenance.
+  std::optional<std::vector<net::NodeId>> findRoute(
+      net::NodeId dest, const LinkFilter& acceptLink = {}) const {
+    auto l = lookup(dest, acceptLink);
+    if (!l) return std::nullopt;
+    return std::move(l->hops);
+  }
 
   /// True if the directed link is part of any cached information.
   virtual bool containsLink(net::LinkId link) const = 0;
@@ -81,6 +108,20 @@ class RouteCacheBase {
     r.event = event;
     r.node = traceOwner_;
     r.detail = detail;
+    tracer_->emit(r);
+  }
+
+  /// Emit a kCacheInsert record carrying the new entry's provenance.
+  /// `detail` is the number of entries the insertion created.
+  void traceCacheInsert(const net::RouteProvenance& prov,
+                        std::int64_t detail) {
+    if (tracer_ == nullptr || !tracer_->enabled()) return;
+    telemetry::TraceRecord r;
+    r.at = tracer_->now();
+    r.event = telemetry::TraceEvent::kCacheInsert;
+    r.node = traceOwner_;
+    r.detail = detail;
+    r.prov = prov;
     tracer_->emit(r);
   }
 

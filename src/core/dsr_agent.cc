@@ -97,6 +97,8 @@ void DsrAgent::sendData(net::NodeId dst, std::uint32_t payloadBytes,
   // Called from CBR ticks (and tests); charge origination to routing.
   prof::Scope profScope(sched_.profiler(), prof::Category::kRouting);
   if (metrics_) ++metrics_->dataOriginated;
+  // manet-lint: allow(causal-id): root origination — new application data
+  // starts a causal chain, it has no parent packet
   auto p = net::Packet::make();
   p->kind = net::PacketKind::kData;
   p->src = self_;
@@ -107,10 +109,11 @@ void DsrAgent::sendData(net::NodeId dst, std::uint32_t payloadBytes,
   p->seqInFlow = seqInFlow;
   tracePacketEvent(telemetry::TraceEvent::kPktOriginate, *p);
 
-  auto route = lookupRoute(dst);
-  if (route) {
-    recordCacheHit(*route);
-    p->route = net::SourceRoute{std::move(*route), 0};
+  auto hit = lookupRoute(dst);
+  if (hit) {
+    recordCacheHit(*hit);
+    p->routeProv = hit->prov;
+    p->route = net::SourceRoute{std::move(hit->hops), 0};
     transmitAlongRoute(std::move(p));
     return;
   }
@@ -123,6 +126,7 @@ void DsrAgent::sendData(net::NodeId dst, std::uint32_t payloadBytes,
     miss.dst = dst;
     tracer_->emit(miss);
   }
+  const std::uint64_t triggerUid = p->uid;
   auto evicted = sendBuf_.push(std::move(p), dst, sched_.now());
   if (prof::Profiler* pr = sched_.profiler()) {
     pr->notePeak(prof::Gauge::kSendBufOccupancy, sendBuf_.size());
@@ -134,7 +138,7 @@ void DsrAgent::sendData(net::NodeId dst, std::uint32_t payloadBytes,
                        telemetry::DropReason::kSendBufferOverflow);
     }
   }
-  startDiscovery(dst);
+  startDiscovery(dst, triggerUid);
 }
 
 void DsrAgent::sendPacket(std::shared_ptr<net::Packet> p) {
@@ -143,10 +147,11 @@ void DsrAgent::sendPacket(std::shared_ptr<net::Packet> p) {
   p->originatedAt = sched_.now();
   const net::NodeId dst = p->dst;
   tracePacketEvent(telemetry::TraceEvent::kPktOriginate, *p);
-  auto route = lookupRoute(dst);
-  if (route) {
-    recordCacheHit(*route);
-    p->route = net::SourceRoute{std::move(*route), 0};
+  auto hit = lookupRoute(dst);
+  if (hit) {
+    recordCacheHit(*hit);
+    p->routeProv = hit->prov;
+    p->route = net::SourceRoute{std::move(hit->hops), 0};
     transmitAlongRoute(std::move(p));
     return;
   }
@@ -159,6 +164,7 @@ void DsrAgent::sendPacket(std::shared_ptr<net::Packet> p) {
     miss.dst = dst;
     tracer_->emit(miss);
   }
+  const std::uint64_t triggerUid = p->uid;
   auto evicted = sendBuf_.push(std::move(p), dst, sched_.now());
   if (prof::Profiler* pr = sched_.profiler()) {
     pr->notePeak(prof::Gauge::kSendBufOccupancy, sendBuf_.size());
@@ -170,7 +176,7 @@ void DsrAgent::sendPacket(std::shared_ptr<net::Packet> p) {
                        telemetry::DropReason::kSendBufferOverflow);
     }
   }
-  startDiscovery(dst);
+  startDiscovery(dst, triggerUid);
 }
 
 void DsrAgent::transmitAlongRoute(std::shared_ptr<net::Packet> p) {
@@ -244,13 +250,14 @@ void DsrAgent::handleData(const net::PacketPtr& p) {
                      telemetry::DropReason::kNone,
                      (sched_.now() - p->originatedAt).ns() / 1000);
     // The destination also learns the (reversed) route back to the source.
-    cacheRoute(reversed(hops));
+    cacheRoute(reversed(hops), net::RouteOrigin::kDelivered);
     for (const DeliveryHandler& h : deliveryHandlers_) h(*p);
     return;
   }
 
   // A forwarding node caches the rest of the route it is relaying.
-  cacheRoute(std::span<const net::NodeId>(hops).subspan(p->route->cursor));
+  cacheRoute(std::span<const net::NodeId>(hops).subspan(p->route->cursor),
+             net::RouteOrigin::kForwarded);
 
   forwardData(p);
 }
@@ -264,8 +271,14 @@ void DsrAgent::forwardData(const net::PacketPtr& p) {
       const net::LinkId link{hops[i], hops[i + 1]};
       if (neg_.contains(link, sched_.now())) {
         if (metrics_) ++metrics_->dropNegativeCache;
-        tracePacketEvent(telemetry::TraceEvent::kPktDrop, *p,
-                         telemetry::DropReason::kNegativeCache);
+        // detail carries the quarantine entry's provenance id: the drop has
+        // two causes — the stale route entry (prov fields) and the negative
+        // cache entry that intercepted it (detail).
+        tracePacketEvent(
+            telemetry::TraceEvent::kPktDrop, *p,
+            telemetry::DropReason::kNegativeCache,
+            static_cast<std::int64_t>(
+                neg_.provenance(link, sched_.now()).id));
         originateError(link, p.get());
         return;
       }
@@ -284,7 +297,10 @@ void DsrAgent::handleRequest(const net::PacketPtr& p, net::NodeId from) {
   if (req.origin == self_) return;
 
   // Gratuitous route repair: the origin piggybacked a recent route error.
-  if (req.piggybackedError) noteBrokenLink(*req.piggybackedError);
+  if (req.piggybackedError) {
+    noteBrokenLink(*req.piggybackedError,
+                   net::RouteOrigin::kPiggybackedRepair);
+  }
 
   // Loop check: we are already on the accumulated path.
   if (std::find(req.path.begin(), req.path.end(), self_) != req.path.end()) {
@@ -298,7 +314,7 @@ void DsrAgent::handleRequest(const net::PacketPtr& p, net::NodeId from) {
     back.reserve(req.path.size() + 1);
     back.push_back(self_);
     back.insert(back.end(), req.path.rbegin(), req.path.rend());
-    cacheRoute(back);
+    cacheRoute(back, net::RouteOrigin::kReverseRequest);
   }
 
   // The target answers every copy of the request (that is how the origin
@@ -311,7 +327,8 @@ void DsrAgent::handleRequest(const net::PacketPtr& p, net::NodeId from) {
     // word on routes to itself.
     const std::uint32_t stamp =
         cfg_.freshnessTagging ? ++ownFreshness_ : 0;
-    sendReply(full, reversed(full), /*fromCache=*/false, stamp);
+    sendReply(full, reversed(full), /*fromCache=*/false, stamp,
+              /*causeUid=*/p->uid);
     return;
   }
 
@@ -322,7 +339,7 @@ void DsrAgent::handleRequest(const net::PacketPtr& p, net::NodeId from) {
   if (cfg_.replyFromCache) {
     if (auto cached = lookupRoute(req.target)) {
       std::vector<net::NodeId> full = req.path;
-      full.insert(full.end(), cached->begin(), cached->end());
+      full.insert(full.end(), cached->hops.begin(), cached->hops.end());
       if (!net::routeHasDuplicates(full)) {
         recordCacheHit(*cached);
         if (metrics_) ++metrics_->cacheRepliesGenerated;
@@ -335,7 +352,7 @@ void DsrAgent::handleRequest(const net::PacketPtr& p, net::NodeId from) {
           if (it != freshestSeen_.end()) stamp = it->second;
         }
         sendReply(std::move(full), reversed(back), /*fromCache=*/true,
-                  stamp);
+                  stamp, /*causeUid=*/p->uid, cached->prov);
         return;
       }
     }
@@ -360,13 +377,18 @@ void DsrAgent::handleRequest(const net::PacketPtr& p, net::NodeId from) {
 
 void DsrAgent::sendReply(std::vector<net::NodeId> fullRoute,
                          std::vector<net::NodeId> backPath, bool fromCache,
-                         std::uint32_t freshness) {
+                         std::uint32_t freshness, std::uint64_t causeUid,
+                         net::RouteProvenance reportedProv) {
   assert(backPath.front() == self_);
   auto p = net::Packet::make();
   p->kind = net::PacketKind::kRouteReply;
   p->src = self_;
   p->dst = backPath.back();
   p->originatedAt = sched_.now();
+  p->causeUid = causeUid;
+  // For cache-served replies, record which cache entry produced the
+  // reported route — if it was stale, receivers' caches inherit the blame.
+  p->routeProv = reportedProv;
   p->rrep = net::RouteReplyHdr{std::move(fullRoute), self_, fromCache,
                                freshness};
   if (backPath.size() == 1) {
@@ -422,7 +444,17 @@ void DsrAgent::handleReply(const net::PacketPtr& p) {
           neg_.erase(net::LinkId{reported[i], reported[i + 1]});
         }
       }
-      cacheRoute(reported);
+      // Label what kind of reply taught us this route: served from an
+      // intermediate cache, generated by the target itself, or a gratuitous
+      // (route-shortening) reply from an overhearing node (replier is then
+      // neither an intermediate cache nor the route's target).
+      net::RouteOrigin origin = net::RouteOrigin::kTargetReply;
+      if (p->rrep->fromCache) {
+        origin = net::RouteOrigin::kCachedReply;
+      } else if (p->rrep->replier != reported.back()) {
+        origin = net::RouteOrigin::kGratuitous;
+      }
+      cacheRoute(reported, origin);
       endDiscovery(reported.back());
     }
     drainSendBuffer();
@@ -435,18 +467,20 @@ void DsrAgent::handleReply(const net::PacketPtr& p) {
   if (it != reported.end()) {
     cacheRoute(std::span<const net::NodeId>(&*it,
                                             static_cast<std::size_t>(
-                                                reported.end() - it)));
+                                                reported.end() - it)),
+               net::RouteOrigin::kForwarded);
   }
   transmitAlongRoute(net::clone(*p));
 }
 
 // ------------------------------------------------------------- discovery
 
-void DsrAgent::startDiscovery(net::NodeId target) {
+void DsrAgent::startDiscovery(net::NodeId target, std::uint64_t causeUid) {
   DiscoveryState& st = discovery_[target];
   if (st.active) return;
   st.active = true;
   st.backoff = cfg_.requestBackoffInitial;
+  st.causeUid = causeUid;
   if (metrics_) ++metrics_->routeDiscoveriesStarted;
 
   if (cfg_.nonPropagatingRequests) {
@@ -490,6 +524,7 @@ void DsrAgent::sendRequest(net::NodeId target, std::uint8_t ttl) {
   p->src = self_;
   p->dst = net::kBroadcast;
   p->originatedAt = sched_.now();
+  p->causeUid = st.causeUid;  // chain the flood to the packet that needs it
   p->rreq = net::RouteRequestHdr{
       .origin = self_,
       .target = target,
@@ -517,12 +552,13 @@ void DsrAgent::drainSendBuffer() {
   // Try every buffered destination against the (possibly just updated)
   // cache; send what has become routable.
   for (net::NodeId target : sendBuf_.destinations()) {
-    auto route = lookupRoute(target);
-    if (!route) continue;
+    auto hit = lookupRoute(target);
+    if (!hit) continue;
     for (auto& entry : sendBuf_.takeForDest(target)) {
-      recordCacheHit(*route);
+      recordCacheHit(*hit);
       auto p = net::clone(*entry.packet);
-      p->route = net::SourceRoute{*route, 0};
+      p->routeProv = hit->prov;
+      p->route = net::SourceRoute{hit->hops, 0};
       transmitAlongRoute(std::move(p));
     }
     endDiscovery(target);
@@ -550,7 +586,7 @@ void DsrAgent::onSendFailed(net::PacketPtr p, net::NodeId nextHop) {
     r.detail = fake ? 1 : 0;
     tracer_->emit(r);
   }
-  noteBrokenLink(broken);
+  noteBrokenLink(broken, net::RouteOrigin::kMacFeedback);
 
   // Flush queued packets that would use the same dead link, as ns-2 does.
   std::vector<mac::QueuedPacket> purged = mac_.purgeNextHop(nextHop);
@@ -580,18 +616,21 @@ bool DsrAgent::trySalvage(const net::Packet& failed, net::LinkId broken) {
   if (!failed.route) return false;
   const net::NodeId dest = failed.route->destination();
   if (dest == self_) return false;
-  auto route = lookupRoute(dest);
-  if (!route || net::routeContainsLink(*route, broken)) return false;
+  auto hit = lookupRoute(dest);
+  if (!hit || net::routeContainsLink(hit->hops, broken)) return false;
   if (metrics_) ++metrics_->salvageAttempts;
-  recordCacheHit(*route);
+  recordCacheHit(*hit);
   auto p = net::clone(failed);
-  p->route = net::SourceRoute{std::move(*route), 0};
+  // The salvaged packet now follows the salvor's cache entry; re-attribute
+  // any later failure to it rather than the source's original entry.
+  p->routeProv = hit->prov;
+  p->route = net::SourceRoute{std::move(hit->hops), 0};
   ++p->salvageCount;
   transmitAlongRoute(std::move(p));
   return true;
 }
 
-void DsrAgent::noteBrokenLink(net::LinkId link) {
+void DsrAgent::noteBrokenLink(net::LinkId link, net::RouteOrigin origin) {
   // Remove from the route cache; the affected paths' ages feed the adaptive
   // timeout estimator as route-lifetime samples.
   const auto affected = cache_->removeLink(link, sched_.now());
@@ -603,7 +642,7 @@ void DsrAgent::noteBrokenLink(net::LinkId link) {
     }
   }
   if (cfg_.negativeCache) {
-    neg_.insert(link, sched_.now());
+    neg_.insert(link, sched_.now(), origin);
     if (prof::Profiler* pr = sched_.profiler()) {
       pr->notePeak(prof::Gauge::kNegCacheEntries, neg_.rawSize());
     }
@@ -618,13 +657,21 @@ void DsrAgent::originateError(net::LinkId link, const net::Packet* failed) {
   p->kind = net::PacketKind::kRouteError;
   p->src = self_;
   p->originatedAt = sched_.now();
+  if (failed != nullptr) {
+    // Chain the error to the packet whose failure it reports, and carry the
+    // provenance of the cache entry that routed that packet over the broken
+    // link — the RERR is the stale entry's obituary.
+    p->causeUid = failed->uid;
+    p->routeProv = failed->routeProv;
+  }
   p->rerr = net::RouteErrorHdr{link, self_, errorCounter_};
 
   if (cfg_.widerErrorNotification) {
     // Technique 1: bad news travels as a MAC broadcast; receivers clean
     // their caches and selectively rebroadcast (see handleErrorBroadcast).
     p->dst = net::kBroadcast;
-    traceRerr(telemetry::TraceEvent::kRerrOriginate, link, /*detail=*/1);
+    traceRerr(telemetry::TraceEvent::kRerrOriginate, link, /*detail=*/1,
+              p.get());
     mac_.send(std::move(p), net::kBroadcast, /*priority=*/true);
     return;
   }
@@ -645,21 +692,22 @@ void DsrAgent::originateError(net::LinkId link, const net::Packet* failed) {
       std::make_reverse_iterator(selfIt + 1), hops.rend());
   p->dst = back.back();
   p->route = net::SourceRoute{std::move(back), 0};
-  traceRerr(telemetry::TraceEvent::kRerrOriginate, link, /*detail=*/0);
+  traceRerr(telemetry::TraceEvent::kRerrOriginate, link, /*detail=*/0,
+            p.get());
   transmitAlongRoute(std::move(p));
 }
 
 void DsrAgent::handleErrorUnicast(const net::PacketPtr& p) {
   assert(p->rerr && p->route);
   if (p->route->hops[p->route->cursor] != self_) return;
-  noteBrokenLink(p->rerr->broken);
+  noteBrokenLink(p->rerr->broken, net::RouteOrigin::kRerrUnicast);
   if (p->route->atDestination()) {
     // We are the source being notified: arm gratuitous route repair.
     if (cfg_.gratuitousRepair) pendingRepairError_ = p->rerr->broken;
     return;
   }
   traceRerr(telemetry::TraceEvent::kRerrForward, p->rerr->broken,
-            /*detail=*/0);
+            /*detail=*/0, p.get());
   transmitAlongRoute(net::clone(*p));
 }
 
@@ -675,11 +723,12 @@ void DsrAgent::handleErrorBroadcast(const net::PacketPtr& p) {
   // predicates must be evaluated before noteBrokenLink cleans them up.
   const bool hadLink = cache_->containsLink(err.broken);
   const bool usedInForwarding = forwardedLinks_.contains(err.broken);
-  noteBrokenLink(err.broken);
+  noteBrokenLink(err.broken, net::RouteOrigin::kRerrBroadcast);
 
   if (hadLink && usedInForwarding) {
     if (metrics_) ++metrics_->rerrWideRebroadcasts;
-    traceRerr(telemetry::TraceEvent::kRerrForward, err.broken, /*detail=*/1);
+    traceRerr(telemetry::TraceEvent::kRerrForward, err.broken, /*detail=*/1,
+              p.get());
     auto fwd = net::clone(*p);
     const auto jitter = sim::Time::nanos(rng_.uniformInt(
         0, std::max<std::int64_t>(1, cfg_.broadcastJitterMax.ns())));
@@ -713,7 +762,9 @@ void DsrAgent::onTap(const mac::Frame& f) {
       std::vector<net::NodeId> snooped;
       snooped.push_back(self_);
       snooped.insert(snooped.end(), txIt, hops.end());
-      if (!net::routeHasDuplicates(snooped)) cacheRoute(snooped);
+      if (!net::routeHasDuplicates(snooped)) {
+        cacheRoute(snooped, net::RouteOrigin::kSnooped);
+      }
 
       // A route reply also reveals the reported route.
       if (p.rrep) {
@@ -721,7 +772,8 @@ void DsrAgent::onTap(const mac::Frame& f) {
         auto it = std::find(rep.begin(), rep.end(), self_);
         if (it != rep.end()) {
           cacheRoute(std::span<const net::NodeId>(
-              &*it, static_cast<std::size_t>(rep.end() - it)));
+                         &*it, static_cast<std::size_t>(rep.end() - it)),
+                     net::RouteOrigin::kSnooped);
         }
       }
 
@@ -749,7 +801,8 @@ void DsrAgent::onTap(const mac::Frame& f) {
                 !net::routeHasDuplicates(backPath) && backPath.size() >= 2) {
               if (metrics_) ++metrics_->gratuitousRepliesGenerated;
               sendReply(std::move(shortened), std::move(backPath),
-                        /*fromCache=*/false);
+                        /*fromCache=*/false, /*freshness=*/0,
+                        /*causeUid=*/p.uid);
             }
           }
         }
@@ -769,7 +822,8 @@ void DsrAgent::onTap(const mac::Frame& f) {
 
 // ------------------------------------------------------------------ cache
 
-void DsrAgent::cacheRoute(std::span<const net::NodeId> hops) {
+void DsrAgent::cacheRoute(std::span<const net::NodeId> hops,
+                          net::RouteOrigin origin) {
   if (hops.size() < 2 || hops.front() != self_) return;
   std::size_t usable = hops.size();
   if (cfg_.negativeCache) {
@@ -784,7 +838,7 @@ void DsrAgent::cacheRoute(std::span<const net::NodeId> hops) {
     }
   }
   if (usable < 2) return;
-  cache_->insert(hops.subspan(0, usable), sched_.now());
+  cache_->insert(hops.subspan(0, usable), sched_.now(), origin);
   if (prof::Profiler* pr = sched_.profiler()) {
     pr->notePeak(prof::Gauge::kRouteCacheEntries, cache_->size());
   }
@@ -792,22 +846,29 @@ void DsrAgent::cacheRoute(std::span<const net::NodeId> hops) {
   if (sendBuf_.size() > 0) drainSendBuffer();
 }
 
-std::optional<std::vector<net::NodeId>> DsrAgent::lookupRoute(
-    net::NodeId dest) {
-  if (!cfg_.negativeCache) return cache_->findRoute(dest);
+std::optional<RouteLookup> DsrAgent::lookupRoute(net::NodeId dest) {
+  if (!cfg_.negativeCache) return cache_->lookup(dest);
   // Skip routes over quarantined links, but let alternate cached paths
   // serve the destination.
-  return cache_->findRoute(dest, [this](net::LinkId link) {
+  return cache_->lookup(dest, [this](net::LinkId link) {
     return !neg_.contains(link, sched_.now());
   });
 }
 
-void DsrAgent::recordCacheHit(std::span<const net::NodeId> route) {
+void DsrAgent::recordCacheHit(const RouteLookup& hit) {
   const bool valid =
-      oracle_ == nullptr || oracle_->routeValid(route, sched_.now());
+      oracle_ == nullptr || oracle_->routeValid(hit.hops, sched_.now());
   if (metrics_) {
     ++metrics_->cacheHits;
-    if (oracle_ != nullptr && !valid) ++metrics_->invalidCacheHits;
+    if (oracle_ != nullptr && !valid) {
+      ++metrics_->invalidCacheHits;
+      // Attribute the stale hit to how the serving entry was learned —
+      // the causal breakdown behind the paper's Table 3 outcome counters.
+      const auto idx = static_cast<std::size_t>(hit.prov.origin);
+      if (idx < metrics_->invalidCacheHitsByOrigin.size()) {
+        ++metrics_->invalidCacheHitsByOrigin[idx];
+      }
+    }
   }
   if (tracing()) {
     telemetry::TraceRecord r;
@@ -815,8 +876,9 @@ void DsrAgent::recordCacheHit(std::span<const net::NodeId> route) {
     r.event = telemetry::TraceEvent::kCacheHit;
     r.node = self_;
     r.src = self_;
-    r.dst = route.empty() ? 0 : route.back();
+    r.dst = hit.hops.empty() ? 0 : hit.hops.back();
     r.detail = oracle_ == nullptr ? -1 : (valid ? 1 : 0);
+    r.prov = hit.prov;
     tracer_->emit(r);
   }
 }
@@ -833,7 +895,7 @@ void DsrAgent::tracePacketEvent(telemetry::TraceEvent event,
 }
 
 void DsrAgent::traceRerr(telemetry::TraceEvent event, net::LinkId broken,
-                         std::int64_t detail) {
+                         std::int64_t detail, const net::Packet* p) {
   if (!tracing()) return;
   telemetry::TraceRecord r;
   r.at = sched_.now();
@@ -843,6 +905,11 @@ void DsrAgent::traceRerr(telemetry::TraceEvent event, net::LinkId broken,
   r.src = broken.from;
   r.dst = broken.to;
   r.detail = detail;
+  if (p != nullptr) {
+    r.uid = p->uid;
+    r.cause = p->causeUid;
+    r.prov = p->routeProv;
+  }
   tracer_->emit(r);
 }
 

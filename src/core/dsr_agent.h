@@ -75,7 +75,9 @@ class DsrAgent final : public net::RoutingAgent {
   /// Preload a route (first hop must be this node). Subject to the same
   /// admission rules as learned routes (loop-free, negative-cache mutual
   /// exclusion). Useful for static deployments, tests and examples.
-  void seedRoute(std::span<const net::NodeId> hops) { cacheRoute(hops); }
+  void seedRoute(std::span<const net::NodeId> hops) {
+    cacheRoute(hops, net::RouteOrigin::kSeeded);
+  }
 
   /// Drop all cached route state — route cache, negative cache and the
   /// forwarded-links memory used by wider error notification. Called by the
@@ -100,6 +102,10 @@ class DsrAgent final : public net::RoutingAgent {
     std::uint32_t nextId = 1;
     sim::Time backoff;
     sim::EventId pendingEvent = sim::kInvalidEvent;
+    /// Uid of the buffered data packet that triggered this discovery; every
+    /// RREQ the discovery emits carries it as causeUid, chaining the flood
+    /// (and its replies) back to the packet that needed the route.
+    std::uint64_t causeUid = 0;
   };
 
   // MAC callbacks.
@@ -114,30 +120,39 @@ class DsrAgent final : public net::RoutingAgent {
   void handleErrorUnicast(const net::PacketPtr& p);
   void handleErrorBroadcast(const net::PacketPtr& p);
 
-  // Route discovery.
-  void startDiscovery(net::NodeId target);
+  // Route discovery. `causeUid` is the uid of the data packet that needs
+  // the route (0 when unknown, e.g. buffer-sweep restarts).
+  void startDiscovery(net::NodeId target, std::uint64_t causeUid = 0);
   void sendRequest(net::NodeId target, std::uint8_t ttl);
   void onDiscoveryTimeout(net::NodeId target);
   void endDiscovery(net::NodeId target);
 
-  // Replies.
+  // Replies. `causeUid` names the packet that provoked the reply (the
+  // request being answered, or the tapped data packet for gratuitous
+  // replies); `reportedProv` is the cache entry a cached reply serves from.
   void sendReply(std::vector<net::NodeId> fullRoute,
                  std::vector<net::NodeId> backPath, bool fromCache,
-                 std::uint32_t freshness = 0);
+                 std::uint32_t freshness = 0, std::uint64_t causeUid = 0,
+                 net::RouteProvenance reportedProv = {});
 
-  // Errors / broken links.
-  void noteBrokenLink(net::LinkId link);
+  // Errors / broken links. `origin` names the evidence that condemned the
+  // link (MAC feedback vs. the flavor of route error that reported it) and
+  // becomes the negative-cache entry's provenance origin.
+  void noteBrokenLink(net::LinkId link, net::RouteOrigin origin);
   void originateError(net::LinkId link, const net::Packet* failedPacket);
 
   // Cache plumbing.
   /// Insert a route into the cache, honoring negative-cache mutual
   /// exclusion (the route is truncated at the first negatively-cached
-  /// link). `hops` must start at this node.
-  void cacheRoute(std::span<const net::NodeId> hops);
+  /// link). `hops` must start at this node; `origin` names how the route
+  /// was learned and seeds the new entry's provenance.
+  void cacheRoute(std::span<const net::NodeId> hops, net::RouteOrigin origin);
   /// Cache lookup that refuses routes crossing negatively-cached links.
-  std::optional<std::vector<net::NodeId>> lookupRoute(net::NodeId dest);
-  /// Count a cache hit and its oracle-checked validity.
-  void recordCacheHit(std::span<const net::NodeId> route);
+  /// The result carries the serving entry's provenance.
+  std::optional<RouteLookup> lookupRoute(net::NodeId dest);
+  /// Count a cache hit and its oracle-checked validity, attributed to the
+  /// serving entry's origin.
+  void recordCacheHit(const RouteLookup& hit);
 
   // Tracing helpers (no-ops when no sink is attached).
   bool tracing() const { return tracer_ != nullptr && tracer_->enabled(); }
@@ -146,8 +161,10 @@ class DsrAgent final : public net::RoutingAgent {
       telemetry::DropReason reason = telemetry::DropReason::kNone,
       std::int64_t detail = 0);
   /// Route-error records carry the broken link's endpoints in src/dst.
+  /// `p` (the RERR packet, when available) contributes uid, causal link and
+  /// the provenance of the entry whose failure the error reports.
   void traceRerr(telemetry::TraceEvent event, net::LinkId broken,
-                 std::int64_t detail);
+                 std::int64_t detail, const net::Packet* p = nullptr);
 
   // Transmission helpers.
   void transmitAlongRoute(std::shared_ptr<net::Packet> p);

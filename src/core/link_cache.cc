@@ -19,13 +19,24 @@ const char* toString(CacheStructure s) {
 LinkCache::LinkCache(net::NodeId owner, std::size_t capacity)
     : owner_(owner), capacity_(capacity) {}
 
-bool LinkCache::insert(std::span<const net::NodeId> hops, sim::Time now) {
+bool LinkCache::insert(std::span<const net::NodeId> hops, sim::Time now,
+                       net::RouteOrigin origin) {
   if (hops.size() < 2 || hops.front() != owner_) return false;
   if (net::routeHasDuplicates(hops)) return false;
+  // One provenance record per insertion, minted lazily on the first link
+  // actually stored and shared by every new link from this route: the
+  // insertion is one cache decision even though it creates many entries.
+  net::RouteProvenance prov;
+  std::int64_t newLinks = 0;
   for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
     const net::LinkId link{hops[i], hops[i + 1]};
-    auto [it, inserted] = links_.try_emplace(link, LinkInfo{now, now});
+    auto [it, inserted] = links_.try_emplace(link, LinkInfo{now, now, {}});
     if (inserted) {
+      if (prov.id == 0 && origin != net::RouteOrigin::kNone) {
+        prov = net::RouteProvenance::next(origin, owner_, now, hops.size());
+      }
+      it->second.prov = prov;
+      ++newLinks;
       if (links_.size() > capacity_) {
         // Undo bookkeeping order: add adjacency first so eviction of the
         // just-inserted link (if it is somehow oldest) stays consistent.
@@ -36,12 +47,13 @@ bool LinkCache::insert(std::span<const net::NodeId> hops, sim::Time now) {
       adj_[link.from].push_back(link.to);
     }
     // Re-learning an existing link refreshes neither addedAt nor lastUsed
-    // (matching the path cache's first-entered semantics).
+    // nor provenance (matching the path cache's first-entered semantics).
   }
+  if (newLinks > 0) traceCacheInsert(prov, newLinks);
   return true;
 }
 
-std::optional<std::vector<net::NodeId>> LinkCache::findRoute(
+std::optional<RouteLookup> LinkCache::lookup(
     net::NodeId dest, const LinkFilter& acceptLink) const {
   if (dest == owner_) return std::nullopt;
   // Unweighted shortest path => BFS from the owner.
@@ -67,7 +79,20 @@ std::optional<std::vector<net::NodeId>> LinkCache::findRoute(
     route.push_back(parent.at(n));
   }
   std::reverse(route.begin(), route.end());
-  return route;
+  RouteLookup out{std::move(route), {}};
+  // Attribute the composed route to its stalest ingredient: the oldest
+  // constituent link (ties to the smaller provenance id, so the choice is
+  // deterministic and independent of map iteration).
+  for (std::size_t i = 0; i + 1 < out.hops.size(); ++i) {
+    auto it = links_.find(net::LinkId{out.hops[i], out.hops[i + 1]});
+    if (it == links_.end() || it->second.prov.id == 0) continue;
+    const net::RouteProvenance& p = it->second.prov;
+    if (out.prov.id == 0 || p.bornAt < out.prov.bornAt ||
+        (p.bornAt == out.prov.bornAt && p.id < out.prov.id)) {
+      out.prov = p;
+    }
+  }
+  return out;
 }
 
 bool LinkCache::containsLink(net::LinkId link) const {

@@ -24,8 +24,16 @@ class LinkCache final : public RouteCacheBase {
   /// is evicted when full.
   LinkCache(net::NodeId owner, std::size_t capacity);
 
-  bool insert(std::span<const net::NodeId> hops, sim::Time now) override;
-  std::optional<std::vector<net::NodeId>> findRoute(
+  /// Decompose `hops` into directed links. All links newly created by one
+  /// insertion share one minted provenance record (they are one cache
+  /// decision); re-learned links keep the provenance of their first entry.
+  bool insert(std::span<const net::NodeId> hops, sim::Time now,
+              net::RouteOrigin origin = net::RouteOrigin::kNone) override;
+  /// BFS shortest path. The result's provenance is that of the *oldest*
+  /// constituent link (earliest bornAt, ties to the smaller provenance id):
+  /// a composed route is only as fresh as its stalest link, so that is the
+  /// entry a later failure on this route gets attributed to.
+  std::optional<RouteLookup> lookup(
       net::NodeId dest, const LinkFilter& acceptLink = {}) const override;
   bool containsLink(net::LinkId link) const override;
   std::vector<sim::Time> removeLink(net::LinkId link, sim::Time now) override;
@@ -43,6 +51,7 @@ class LinkCache final : public RouteCacheBase {
   struct LinkInfo {
     sim::Time addedAt;
     sim::Time lastUsed;
+    net::RouteProvenance prov{};  // birth record (id 0 = untracked insert)
   };
 
   void evictOldest();

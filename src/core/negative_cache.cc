@@ -7,12 +7,14 @@ namespace manet::core {
 NegativeCache::NegativeCache(std::size_t capacity, sim::Time ttl)
     : capacity_(capacity), ttl_(ttl) {}
 
-void NegativeCache::insert(net::LinkId link, sim::Time now) {
+void NegativeCache::insert(net::LinkId link, sim::Time now,
+                           net::RouteOrigin origin) {
   expire(now);
   auto it = expiry_.find(link);
   if (it != expiry_.end()) {
-    it->second = now + ttl_;
-    // Refresh FIFO position.
+    it->second.expiresAt = now + ttl_;
+    // Refresh FIFO position; the entry keeps its original provenance (the
+    // quarantine is one decision, however often re-confirmed).
     auto pos = std::find(fifo_.begin(), fifo_.end(), link);
     if (pos != fifo_.end()) fifo_.erase(pos);
     fifo_.push_back(link);
@@ -22,19 +24,24 @@ void NegativeCache::insert(net::LinkId link, sim::Time now) {
     expiry_.erase(fifo_.front());
     fifo_.pop_front();
   }
-  expiry_.emplace(link, now + ttl_);
+  net::RouteProvenance prov;
+  if (origin != net::RouteOrigin::kNone) {
+    prov = net::RouteProvenance::next(origin, traceOwner_, now, 2);
+  }
+  expiry_.emplace(link, Entry{now + ttl_, prov});
   fifo_.push_back(link);
-  traceNegEvent(telemetry::TraceEvent::kNegCacheInsert, link);
+  traceNegEvent(telemetry::TraceEvent::kNegCacheInsert, link, prov);
 }
 
 bool NegativeCache::contains(net::LinkId link, sim::Time now) {
   auto it = expiry_.find(link);
   if (it == expiry_.end()) return false;
-  if (it->second <= now) {
+  if (it->second.expiresAt <= now) {
+    const net::RouteProvenance prov = it->second.prov;
     expiry_.erase(it);
     auto pos = std::find(fifo_.begin(), fifo_.end(), link);
     if (pos != fifo_.end()) fifo_.erase(pos);
-    traceNegEvent(telemetry::TraceEvent::kNegCacheExpire, link);
+    traceNegEvent(telemetry::TraceEvent::kNegCacheExpire, link, prov);
     return false;
   }
   return true;
@@ -59,18 +66,21 @@ void NegativeCache::expire(sim::Time now) {
       fifo_.pop_front();
       continue;
     }
-    if (it->second > now) break;  // FIFO front has the earliest expiry only
+    if (it->second.expiresAt > now) break;
+                                  // FIFO front has the earliest expiry only
                                   // approximately; refreshes reorder — do a
                                   // full sweep below when the front is stale.
     const net::LinkId gone = it->first;
+    const net::RouteProvenance prov = it->second.prov;
     expiry_.erase(it);
     fifo_.pop_front();
-    traceNegEvent(telemetry::TraceEvent::kNegCacheExpire, gone);
+    traceNegEvent(telemetry::TraceEvent::kNegCacheExpire, gone, prov);
   }
 }
 
 void NegativeCache::traceNegEvent(telemetry::TraceEvent event,
-                                  net::LinkId link) {
+                                  net::LinkId link,
+                                  const net::RouteProvenance& prov) {
   if (tracer_ == nullptr || !tracer_->enabled()) return;
   telemetry::TraceRecord r;
   r.at = tracer_->now();
@@ -78,6 +88,7 @@ void NegativeCache::traceNegEvent(telemetry::TraceEvent event,
   r.node = traceOwner_;
   r.src = link.from;
   r.dst = link.to;
+  r.prov = prov;
   tracer_->emit(r);
 }
 

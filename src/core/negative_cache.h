@@ -26,8 +26,13 @@ class NegativeCache {
   NegativeCache(std::size_t capacity, sim::Time ttl);
 
   /// Record a broken link observed at `now` (via link-layer feedback or a
-  /// route error). Re-inserting refreshes the expiry and FIFO position.
-  void insert(net::LinkId link, sim::Time now);
+  /// route error). Re-inserting refreshes the expiry and FIFO position but
+  /// keeps the entry's original provenance (the first quarantine decision).
+  /// `origin` names the evidence source (kMacFeedback, kRerrUnicast, ...);
+  /// new entries with origin != kNone mint a provenance record, so drops
+  /// caused by the quarantine attribute back to what created it.
+  void insert(net::LinkId link, sim::Time now,
+              net::RouteOrigin origin = net::RouteOrigin::kNone);
 
   /// True if the link is negatively cached and not yet expired.
   bool contains(net::LinkId link, sim::Time now);
@@ -36,7 +41,16 @@ class NegativeCache {
   /// Used by the invariant checker so observing does not perturb state.
   bool peek(net::LinkId link, sim::Time now) const {
     const auto it = expiry_.find(link);
-    return it != expiry_.end() && it->second > now;
+    return it != expiry_.end() && it->second.expiresAt > now;
+  }
+
+  /// Provenance of a live quarantine entry (read-only; no expiry sweep).
+  /// id == 0 if the link is not cached, already expired, or was inserted
+  /// without an origin.
+  net::RouteProvenance provenance(net::LinkId link, sim::Time now) const {
+    const auto it = expiry_.find(link);
+    if (it == expiry_.end() || it->second.expiresAt <= now) return {};
+    return it->second.prov;
   }
 
   /// Positive evidence that the link works (e.g. we just heard the
@@ -67,14 +81,20 @@ class NegativeCache {
   }
 
  private:
+  struct Entry {
+    sim::Time expiresAt;
+    net::RouteProvenance prov{};  // birth record (id 0 = untracked insert)
+  };
+
   void expire(sim::Time now);
-  void traceNegEvent(telemetry::TraceEvent event, net::LinkId link);
+  void traceNegEvent(telemetry::TraceEvent event, net::LinkId link,
+                     const net::RouteProvenance& prov = {});
 
   telemetry::Tracer* tracer_ = nullptr;
   net::NodeId traceOwner_ = 0;
   std::size_t capacity_;
   sim::Time ttl_;
-  std::unordered_map<net::LinkId, sim::Time, net::LinkIdHash> expiry_;
+  std::unordered_map<net::LinkId, Entry, net::LinkIdHash> expiry_;
   std::deque<net::LinkId> fifo_;
 };
 

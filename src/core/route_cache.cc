@@ -8,15 +8,18 @@ namespace manet::core {
 RouteCache::RouteCache(net::NodeId owner, std::size_t capacity)
     : owner_(owner), capacity_(capacity) {}
 
-bool RouteCache::insert(std::span<const net::NodeId> hops, sim::Time now) {
+bool RouteCache::insert(std::span<const net::NodeId> hops, sim::Time now,
+                        net::RouteOrigin origin) {
   if (hops.size() < 2 || hops.front() != owner_) return false;
   if (net::routeHasDuplicates(hops)) return false;
 
   std::vector<net::NodeId> path(hops.begin(), hops.end());
-  // Already cached: keep the original addedAt. Forwarders re-learn the same
-  // route from every packet they relay; refreshing the timestamp here would
-  // collapse the route-lifetime samples the adaptive timeout feeds on
-  // (lifetime = break time - time the route was first entered).
+  // Already cached: keep the original addedAt and provenance. Forwarders
+  // re-learn the same route from every packet they relay; refreshing the
+  // timestamp here would collapse the route-lifetime samples the adaptive
+  // timeout feeds on (lifetime = break time - time the route was first
+  // entered), and re-stamping provenance would hide which insertion
+  // actually created the entry.
   for (const CachedPath& p : paths_) {
     if (p.hops == path) return true;
   }
@@ -28,11 +31,16 @@ bool RouteCache::insert(std::span<const net::NodeId> hops, sim::Time now) {
   for (std::size_t i = 0; i + 1 < path.size(); ++i) {
     lastUsed_.try_emplace(net::LinkId{path[i], path[i + 1]}, now);
   }
-  paths_.push_back(CachedPath{std::move(path), now});
+  net::RouteProvenance prov;
+  if (origin != net::RouteOrigin::kNone) {
+    prov = net::RouteProvenance::next(origin, owner_, now, path.size());
+  }
+  paths_.push_back(CachedPath{std::move(path), now, prov});
+  traceCacheInsert(prov, 1);
   return true;
 }
 
-std::optional<std::vector<net::NodeId>> RouteCache::findRoute(
+std::optional<RouteLookup> RouteCache::lookup(
     net::NodeId dest, const LinkFilter& acceptLink) const {
   const CachedPath* best = nullptr;
   std::size_t bestLen = std::numeric_limits<std::size_t>::max();
@@ -56,9 +64,11 @@ std::optional<std::vector<net::NodeId>> RouteCache::findRoute(
     bestLen = len;
   }
   if (best == nullptr) return std::nullopt;
-  return std::vector<net::NodeId>(best->hops.begin(),
-                                  best->hops.begin() +
-                                      static_cast<std::ptrdiff_t>(bestLen));
+  RouteLookup out;
+  out.hops.assign(best->hops.begin(),
+                  best->hops.begin() + static_cast<std::ptrdiff_t>(bestLen));
+  out.prov = best->prov;
+  return out;
 }
 
 bool RouteCache::containsLink(net::LinkId link) const {

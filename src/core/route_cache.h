@@ -29,6 +29,7 @@ class RouteCache final : public RouteCacheBase {
   struct CachedPath {
     std::vector<net::NodeId> hops;  // hops.front() == owning node
     sim::Time addedAt;              // insertion / refresh time
+    net::RouteProvenance prov{};    // birth record (id 0 = untracked insert)
   };
 
   RouteCache(net::NodeId owner, std::size_t capacity);
@@ -40,15 +41,17 @@ class RouteCache final : public RouteCacheBase {
 
   /// Insert a path (hops.front() must equal owner(); length >= 2;
   /// loop-free). Invalid paths are rejected; re-inserting an existing path
-  /// keeps its original addedAt (lifetime samples measure age since first
-  /// learned). When full, the oldest path is evicted (FIFO).
-  bool insert(std::span<const net::NodeId> hops, sim::Time now) override;
+  /// keeps its original addedAt and provenance (lifetime samples measure age
+  /// since first learned). When full, the oldest path is evicted (FIFO).
+  bool insert(std::span<const net::NodeId> hops, sim::Time now,
+              net::RouteOrigin origin = net::RouteOrigin::kNone) override;
 
   /// Shortest cached route from owner to `dest` (a prefix of any stored path
   /// works, since every stored node is reachable along the way). Ties break
   /// to the most recently added path. With `acceptLink`, candidates using a
-  /// rejected link are skipped — other cached paths still serve.
-  std::optional<std::vector<net::NodeId>> findRoute(
+  /// rejected link are skipped — other cached paths still serve. The result
+  /// carries the winning path's provenance.
+  std::optional<RouteLookup> lookup(
       net::NodeId dest, const LinkFilter& acceptLink = {}) const override;
 
   bool hasRouteTo(net::NodeId dest) const { return findRoute(dest).has_value(); }

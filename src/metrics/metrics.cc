@@ -27,6 +27,9 @@ void Metrics::add(const Metrics& o) {
   rtsIgnoredBusy += o.rtsIgnoredBusy;
   cacheHits += o.cacheHits;
   invalidCacheHits += o.invalidCacheHits;
+  for (std::size_t i = 0; i < invalidCacheHitsByOrigin.size(); ++i) {
+    invalidCacheHitsByOrigin[i] += o.invalidCacheHitsByOrigin[i];
+  }
   repliesReceived += o.repliesReceived;
   goodRepliesReceived += o.goodRepliesReceived;
   cacheRepliesGenerated += o.cacheRepliesGenerated;

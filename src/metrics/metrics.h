@@ -12,8 +12,10 @@
 //    route containing at least one dead link.
 #pragma once
 
+#include <array>
 #include <cstdint>
 
+#include "src/net/packet.h"
 #include "src/sim/time.h"
 
 namespace manet::metrics {
@@ -51,6 +53,11 @@ struct Metrics {
   std::uint64_t cacheHits = 0;         // route served from a cache (source
                                        // send, salvage, or cached reply)
   std::uint64_t invalidCacheHits = 0;  // ...where the route was stale
+  /// invalidCacheHits broken down by how the serving entry was learned
+  /// (indexed by net::RouteOrigin) — the causal attribution behind the
+  /// paper's invalid-cached-routes outcome counter. Index 0 (kNone) counts
+  /// hits on entries inserted without provenance.
+  std::array<std::uint64_t, net::kNumRouteOrigins> invalidCacheHitsByOrigin{};
   std::uint64_t repliesReceived = 0;   // RREPs arriving at request origins
   std::uint64_t goodRepliesReceived = 0;
   std::uint64_t cacheRepliesGenerated = 0;

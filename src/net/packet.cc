@@ -43,6 +43,38 @@ std::string Packet::summary() const {
   return s;
 }
 
+const char* toString(RouteOrigin o) {
+  switch (o) {
+    case RouteOrigin::kNone:
+      return "none";
+    case RouteOrigin::kTargetReply:
+      return "target_reply";
+    case RouteOrigin::kCachedReply:
+      return "cached_reply";
+    case RouteOrigin::kReverseRequest:
+      return "reverse_request";
+    case RouteOrigin::kForwarded:
+      return "forwarded";
+    case RouteOrigin::kDelivered:
+      return "delivered";
+    case RouteOrigin::kSnooped:
+      return "snooped";
+    case RouteOrigin::kGratuitous:
+      return "gratuitous";
+    case RouteOrigin::kSeeded:
+      return "seeded";
+    case RouteOrigin::kMacFeedback:
+      return "mac_feedback";
+    case RouteOrigin::kRerrUnicast:
+      return "rerr_unicast";
+    case RouteOrigin::kRerrBroadcast:
+      return "rerr_broadcast";
+    case RouteOrigin::kPiggybackedRepair:
+      return "piggybacked_repair";
+  }
+  return "?";
+}
+
 namespace {
 // Thread-local so concurrent sweep runs (one run per worker thread) assign
 // uids independently; Scenario resets it per run, making the sequence a
@@ -51,7 +83,27 @@ namespace {
 // manet-lint: allow(shared-mutable): thread-local and reset per Scenario;
 // uids never feed back into simulation decisions, only into traces.
 thread_local std::uint64_t t_nextUid = 1;
+
+// Provenance ids follow the same regime as packet uids: thread-local, reset
+// per Scenario, never consulted by the protocol — purely a trace join key.
+// manet-lint: allow(shared-mutable): thread-local and reset per Scenario;
+// provenance ids never feed back into simulation decisions, only traces.
+thread_local std::uint64_t t_nextProvId = 1;
 }  // namespace
+
+RouteProvenance RouteProvenance::next(RouteOrigin origin, NodeId insertedBy,
+                                      sim::Time bornAt, std::size_t hops) {
+  RouteProvenance p;
+  p.id = t_nextProvId++;
+  p.origin = origin;
+  p.insertedBy = insertedBy;
+  p.bornAt = bornAt;
+  p.hopsAtInsert = hops > 255 ? std::uint8_t{255}
+                              : static_cast<std::uint8_t>(hops);
+  return p;
+}
+
+void RouteProvenance::resetIdCounter() { t_nextProvId = 1; }
 
 std::shared_ptr<Packet> Packet::make() {
   auto p = std::make_shared<Packet>();

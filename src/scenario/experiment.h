@@ -7,11 +7,14 @@
 // through ExperimentPlan + runPlan (src/scenario/sweep.h, runner.h).
 #pragma once
 
+#include <array>
 #include <functional>
+#include <initializer_list>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "src/net/packet.h"
 #include "src/scenario/scenario.h"
 #include "src/util/stats.h"
 
@@ -26,6 +29,21 @@ struct AggregateResult {
   util::RunningStats invalidCacheHitPct;
   util::RunningStats cacheHits;
   util::RunningStats linkBreaks;
+  /// Per-origin breakdown of invalid cache hits (indexed by
+  /// net::RouteOrigin): which learning path inserted the entries that went
+  /// stale. Fed by Metrics::invalidCacheHitsByOrigin.
+  std::array<util::RunningStats, net::kNumRouteOrigins> invalidHitsByOrigin{};
+
+  /// Mean invalid hits summed over a set of origins (helper for
+  /// attribution columns; pass e.g. {kSnooped, kForwarded}).
+  double meanInvalidHits(std::initializer_list<net::RouteOrigin> origins)
+      const {
+    double sum = 0.0;
+    for (net::RouteOrigin o : origins) {
+      sum += invalidHitsByOrigin[static_cast<std::size_t>(o)].mean();
+    }
+    return sum;
+  }
   /// Full per-run results. Populated by runReplicated; runPlan drops them
   /// after export unless RunnerOptions.keepRuns is set (a large sweep must
   /// not retain every run's sampled series and profile in memory).

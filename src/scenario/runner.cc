@@ -26,15 +26,16 @@ ScenarioConfig taskConfig(const SweepPoint& point, int rep, int replications,
   // Concurrent runs must never share a trace file: tag the path with the
   // point label (multi-point sweeps) and replication index. A single
   // (point, seed) run keeps the configured path untouched.
-  if (!cfg.telemetry.traceJsonlPath.empty()) {
+  const auto tagPath = [&](std::string& path) {
+    if (path.empty()) return;
     if (numPoints > 1) {
-      cfg.telemetry.traceJsonlPath = telemetry::perRunPath(
-          point.config.telemetry.traceJsonlPath, point.label, rep);
+      path = telemetry::perRunPath(path, point.label, rep);
     } else if (replications > 1) {
-      cfg.telemetry.traceJsonlPath = telemetry::perRunPath(
-          point.config.telemetry.traceJsonlPath, rep);
+      path = telemetry::perRunPath(path, rep);
     }
-  }
+  };
+  tagPath(cfg.telemetry.traceJsonlPath);
+  tagPath(cfg.telemetry.perfettoPath);
   return cfg;
 }
 
@@ -48,6 +49,10 @@ void addToAggregate(AggregateResult& agg, const RunResult& r) {
   agg.invalidCacheHitPct.add(m.invalidCacheHitPct());
   agg.cacheHits.add(static_cast<double>(m.cacheHits));
   agg.linkBreaks.add(static_cast<double>(m.linkBreaksDetected));
+  for (std::size_t i = 0; i < net::kNumRouteOrigins; ++i) {
+    agg.invalidHitsByOrigin[i].add(
+        static_cast<double>(m.invalidCacheHitsByOrigin[i]));
+  }
 }
 
 }  // namespace

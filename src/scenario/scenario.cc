@@ -54,10 +54,12 @@ void ScenarioConfig::validate() const {
 
 Scenario::Scenario(const ScenarioConfig& cfg) : cfg_(cfg) {
   cfg_.validate();
-  // Packet uids restart at 1 for every run so traces are a deterministic
-  // function of the config alone — byte-identical whether the run executes
-  // serially, on a sweep worker thread, or in a fresh process.
+  // Packet uids and cache-provenance ids restart at 1 for every run so
+  // traces are a deterministic function of the config alone — byte-identical
+  // whether the run executes serially, on a sweep worker thread, or in a
+  // fresh process.
   net::Packet::resetUidCounter();
+  net::RouteProvenance::resetIdCounter();
   net::NetworkConfig netCfg{cfg.phy, cfg.mac, cfg.protocol, cfg.dsr,
                             cfg.aodv};
   // Seed the network (MAC jitter, DSR jitter) from the mobility seed so a
@@ -80,6 +82,13 @@ Scenario::Scenario(const ScenarioConfig& cfg) : cfg_(cfg) {
   if (!tel.traceJsonlPath.empty()) {
     jsonl_ = std::make_unique<telemetry::JsonlFileSink>(tel.traceJsonlPath);
     if (jsonl_->ok()) network_->tracer().addSink(jsonl_.get());
+  }
+  if (!tel.perfettoPath.empty()) {
+    perfetto_ = std::make_unique<telemetry::PerfettoSink>(tel.perfettoPath);
+    if (perfetto_->ok()) network_->tracer().addSink(perfetto_.get());
+  }
+  if (tel.dispatchSpanCapacity > 0) {
+    network_->scheduler().enableSpanCapture(tel.dispatchSpanCapacity);
   }
   if (tel.samplePeriod > sim::Time::zero()) {
     sampler_ =
@@ -175,6 +184,13 @@ RunResult Scenario::run() {
   // manet-lint: allow(wall-clock): run timing for reports only
   const auto wallEnd = std::chrono::steady_clock::now();
   network_->tracer().flush();
+  if (perfetto_ && perfetto_->ok()) {
+    // Append the scheduler's captured dispatch spans before the timeline
+    // closes; the sink flushed its instants above.
+    telemetry::writeDispatchSpans(perfetto_->writer(),
+                                  network_->scheduler().dispatchSpans());
+    perfetto_->writer().close();
+  }
   RunResult r;
   r.metrics = network_->metrics();
   r.duration = cfg_.duration;

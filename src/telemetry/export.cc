@@ -2,9 +2,7 @@
 
 #include <cinttypes>
 #include <cstdio>
-#include <filesystem>
 #include <fstream>
-#include <mutex>
 
 #include "src/prof/profiler.h"
 
@@ -63,6 +61,19 @@ std::string metricsJson(const metrics::Metrics& m, sim::Time duration) {
   kv(out, "rts_ignored_busy", m.rtsIgnoredBusy);
   kv(out, "cache_hits", m.cacheHits);
   kv(out, "invalid_cache_hits", m.invalidCacheHits);
+  // Provenance attribution: invalid hits by how the serving entry was
+  // learned. Zero origins are elided; index order keeps output stable.
+  {
+    out += ",\"invalid_cache_hits_by_origin\":{";
+    bool firstOrigin = true;
+    for (std::size_t i = 0; i < net::kNumRouteOrigins; ++i) {
+      if (m.invalidCacheHitsByOrigin[i] == 0) continue;
+      kv(out, net::toString(static_cast<net::RouteOrigin>(i)),
+         m.invalidCacheHitsByOrigin[i], firstOrigin);
+      firstOrigin = false;
+    }
+    out += '}';
+  }
   kv(out, "replies_received", m.repliesReceived);
   kv(out, "good_replies_received", m.goodRepliesReceived);
   kv(out, "cache_replies_generated", m.cacheRepliesGenerated);
@@ -141,6 +152,14 @@ std::string aggregateJson(const scenario::AggregateResult& agg,
   kvStats(out, "invalid_cache_hit_pct", agg.invalidCacheHitPct);
   kvStats(out, "cache_hits", agg.cacheHits);
   kvStats(out, "link_breaks", agg.linkBreaks);
+  for (std::size_t i = 0; i < net::kNumRouteOrigins; ++i) {
+    const util::RunningStats& s = agg.invalidHitsByOrigin[i];
+    if (s.count() == 0 || s.max() == 0.0) continue;
+    const std::string key =
+        std::string("invalid_hits_origin_") +
+        net::toString(static_cast<net::RouteOrigin>(i));
+    kvStats(out, key.c_str(), s);
+  }
   out += "},\"runs\":[";
   for (std::size_t i = 0; i < agg.runs.size(); ++i) {
     if (i > 0) out += ',';
@@ -171,17 +190,7 @@ std::string seriesCsv(const SampleSeries& s) {
 }
 
 bool writeFile(const std::string& path, std::string_view content) {
-  std::error_code ec;
-  const std::filesystem::path p(path);
-  if (p.has_parent_path()) {
-    // Parallel sweep workers export concurrently; serialize directory
-    // creation so racing mkdir calls cannot spuriously fail.
-    // manet-lint: allow(shared-mutable): process-wide mutex guarding
-    // filesystem mutation only; no simulation state.
-    static std::mutex dirMutex;
-    const std::lock_guard<std::mutex> lock(dirMutex);
-    std::filesystem::create_directories(p.parent_path(), ec);
-  }
+  ensureParentDir(path);
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) {
     std::fprintf(stderr, "telemetry: cannot write %s\n", path.c_str());

@@ -1,0 +1,263 @@
+#include "src/telemetry/perfetto.h"
+
+#include <cinttypes>
+#include <cstring>
+
+namespace manet::telemetry {
+
+namespace {
+
+/// Append a JSON-escaped copy of `s` (quotes not included). Our strings are
+/// enum names and file paths, but escape defensively anyway.
+void appendEscaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void appendKeyString(std::string& out, std::string_view key,
+                     std::string_view value) {
+  out += '"';
+  out += key;
+  out += "\":\"";
+  appendEscaped(out, value);
+  out += '"';
+}
+
+}  // namespace
+
+PerfettoWriter::PerfettoWriter(const std::string& path) : path_(path) {
+  ensureParentDir(path);
+  f_ = std::fopen(path.c_str(), "wb");
+  if (f_ != nullptr) std::fputs("[\n", f_);
+}
+
+PerfettoWriter::~PerfettoWriter() { close(); }
+
+void PerfettoWriter::close() {
+  if (f_ == nullptr) return;
+  std::fputs("\n]\n", f_);
+  std::fclose(f_);
+  f_ = nullptr;
+}
+
+void PerfettoWriter::flush() {
+  if (f_ != nullptr) std::fflush(f_);
+}
+
+void PerfettoWriter::emitRaw(std::string_view eventJson) {
+  if (f_ == nullptr) return;
+  if (!first_) std::fputs(",\n", f_);
+  first_ = false;
+  std::fwrite(eventJson.data(), 1, eventJson.size(), f_);
+  ++written_;
+}
+
+void PerfettoWriter::processName(std::uint32_t pid, std::string_view name) {
+  std::string ev = R"({"ph":"M","name":"process_name","pid":)";
+  ev += std::to_string(pid);
+  ev += R"(,"tid":0,"args":{)";
+  appendKeyString(ev, "name", name);
+  ev += "}}";
+  emitRaw(ev);
+}
+
+void PerfettoWriter::threadName(std::uint32_t pid, std::uint32_t tid,
+                                std::string_view name) {
+  std::string ev = R"({"ph":"M","name":"thread_name","pid":)";
+  ev += std::to_string(pid);
+  ev += ",\"tid\":";
+  ev += std::to_string(tid);
+  ev += R"(,"args":{)";
+  appendKeyString(ev, "name", name);
+  ev += "}}";
+  emitRaw(ev);
+}
+
+void PerfettoWriter::instant(std::string_view name, std::string_view cat,
+                             double tsUs, std::uint32_t pid,
+                             std::uint32_t tid, std::string_view argsJson,
+                             bool globalScope) {
+  std::string ev = "{";
+  appendKeyString(ev, "name", name);
+  ev += ',';
+  appendKeyString(ev, "cat", cat);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), ",\"ph\":\"i\",\"ts\":%.3f", tsUs);
+  ev += buf;
+  ev += ",\"pid\":";
+  ev += std::to_string(pid);
+  ev += ",\"tid\":";
+  ev += std::to_string(tid);
+  ev += globalScope ? R"(,"s":"g")" : R"(,"s":"t")";
+  if (!argsJson.empty()) {
+    ev += ",\"args\":";
+    ev += argsJson;
+  }
+  ev += '}';
+  emitRaw(ev);
+}
+
+void PerfettoWriter::complete(std::string_view name, std::string_view cat,
+                              double tsUs, double durUs, std::uint32_t pid,
+                              std::uint32_t tid, std::string_view argsJson) {
+  std::string ev = "{";
+  appendKeyString(ev, "name", name);
+  ev += ',';
+  appendKeyString(ev, "cat", cat);
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), ",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f",
+                tsUs, durUs);
+  ev += buf;
+  ev += ",\"pid\":";
+  ev += std::to_string(pid);
+  ev += ",\"tid\":";
+  ev += std::to_string(tid);
+  if (!argsJson.empty()) {
+    ev += ",\"args\":";
+    ev += argsJson;
+  }
+  ev += '}';
+  emitRaw(ev);
+}
+
+bool perfettoIsFaultEvent(std::string_view event) {
+  return event == "node_crash" || event == "node_recover" ||
+         event == "link_blackout" || event == "noise_burst" ||
+         event == "traffic_surge";
+}
+
+std::string perfettoArgs(const CausalRecord& r) {
+  std::string args;
+  char buf[96];
+  const auto addNum = [&](const char* key, std::uint64_t v) {
+    args += args.empty() ? '{' : ',';
+    std::snprintf(buf, sizeof(buf), "\"%s\":%" PRIu64, key, v);
+    args += buf;
+  };
+  const auto addStr = [&](const char* key, const std::string& v) {
+    args += args.empty() ? '{' : ',';
+    appendKeyString(args, key, v);
+  };
+  if (r.uid != 0) addNum("uid", r.uid);
+  if (r.cause != 0) addNum("cause", r.cause);
+  if (!r.kind.empty()) addStr("kind", r.kind);
+  if (!r.reason.empty()) addStr("reason", r.reason);
+  if (r.src != 0 || r.dst != 0) {
+    addNum("src", r.src);
+    addNum("dst", r.dst);
+  }
+  if (r.prov != 0) {
+    addNum("prov", r.prov);
+    addStr("origin", r.origin);
+    addNum("prov_node", r.provNode);
+    args += ',';
+    std::snprintf(buf, sizeof(buf), "\"born\":%.9f", r.born);
+    args += buf;
+    addNum("prov_hops", r.provHops);
+  }
+  if (r.detail != 0) {
+    args += args.empty() ? '{' : ',';
+    std::snprintf(buf, sizeof(buf), "\"detail\":%" PRId64, r.detail);
+    args += buf;
+  }
+  if (!args.empty()) args += '}';
+  return args;
+}
+
+void perfettoEmitRecord(PerfettoWriter& w, const CausalRecord& r) {
+  const double tsUs = r.t * 1e6;
+  std::string name = r.event;
+  if (!r.kind.empty()) {
+    name += ':';
+    name += r.kind;
+  }
+  const bool fault = perfettoIsFaultEvent(r.event);
+  const char* cat = fault                ? "fault"
+                    : r.uid != 0         ? "packet"
+                    : r.event == "log"   ? "log"
+                    : r.prov != 0        ? "cache"
+                                         : "protocol";
+  w.instant(name, cat, tsUs, kPerfettoNodesPid, r.node, perfettoArgs(r),
+            /*globalScope=*/fault);
+}
+
+PerfettoSink::PerfettoSink(const std::string& path) : w_(path) {
+  if (w_.ok()) w_.processName(kPerfettoNodesPid, "nodes (sim time)");
+}
+
+void PerfettoSink::record(const TraceRecord& r) {
+  if (!w_.ok()) return;
+  if (namedNodes_.insert(r.node).second) {
+    w_.threadName(kPerfettoNodesPid, r.node,
+                  "node " + std::to_string(r.node));
+  }
+  perfettoEmitRecord(w_, toCausalRecord(r));
+}
+
+void writeDispatchSpans(PerfettoWriter& w,
+                        const std::vector<sim::DispatchSpan>& spans) {
+  if (!w.ok() || spans.empty()) return;
+  w.processName(kPerfettoSchedulerPid,
+                "scheduler (ts = sim time, dur = wall cost)");
+  bool named[prof::kNumCategories] = {};
+  for (const sim::DispatchSpan& s : spans) {
+    const auto tid = static_cast<std::uint32_t>(s.cat);
+    if (tid < prof::kNumCategories && !named[tid]) {
+      named[tid] = true;
+      w.threadName(kPerfettoSchedulerPid, tid, prof::toString(s.cat));
+    }
+    char args[96];
+    std::snprintf(args, sizeof(args),
+                  "{\"seq\":%" PRIu64 ",\"wall_ns\":%" PRIu64 "}", s.seq,
+                  s.wallDurNs);
+    // Timestamp is simulated time; the span's width is the handler's wall
+    // cost, scaled ns -> us so it is visible on the sim-time axis.
+    w.complete(prof::toString(s.cat), "dispatch",
+               static_cast<double>(s.at.ns()) / 1e3,
+               static_cast<double>(s.wallDurNs) / 1e3, kPerfettoSchedulerPid,
+               tid, args);
+  }
+}
+
+long convertJsonlToPerfetto(const std::vector<std::string>& lines,
+                            const std::string& outPath) {
+  PerfettoWriter w(outPath);
+  if (!w.ok()) return -1;
+  w.processName(kPerfettoNodesPid, "nodes (sim time)");
+  std::set<net::NodeId> named;
+  CausalRecord r;
+  for (const std::string& line : lines) {
+    if (!parseCausalLine(line, r)) continue;
+    if (named.insert(r.node).second) {
+      w.threadName(kPerfettoNodesPid, r.node,
+                   "node " + std::to_string(r.node));
+    }
+    perfettoEmitRecord(w, r);
+  }
+  return static_cast<long>(w.eventsWritten());
+}
+
+}  // namespace manet::telemetry

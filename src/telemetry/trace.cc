@@ -1,6 +1,9 @@
 #include "src/telemetry/trace.h"
 
 #include <cinttypes>
+#include <filesystem>
+#include <mutex>
+#include <system_error>
 
 namespace manet::telemetry {
 
@@ -22,6 +25,8 @@ const char* toString(TraceEvent e) {
       return "cache_evict";
     case TraceEvent::kCacheExpire:
       return "cache_expire";
+    case TraceEvent::kCacheInsert:
+      return "cache_insert";
     case TraceEvent::kNegCacheInsert:
       return "neg_cache_insert";
     case TraceEvent::kNegCacheExpire:
@@ -85,6 +90,8 @@ TraceRecord packetRecord(TraceEvent event, sim::Time at, net::NodeId node,
   r.dst = p.dst;
   r.flowId = p.flowId;
   r.seqInFlow = p.seqInFlow;
+  r.cause = p.causeUid;
+  r.prov = p.routeProv;
   return r;
 }
 
@@ -148,6 +155,19 @@ std::string toJson(const TraceRecord& r, std::string_view note) {
     std::snprintf(buf, sizeof(buf), ",\"detail\":%" PRId64, r.detail);
     out += buf;
   }
+  if (r.cause != 0) {
+    std::snprintf(buf, sizeof(buf), ",\"cause\":%" PRIu64, r.cause);
+    out += buf;
+  }
+  if (r.prov.id != 0) {
+    std::snprintf(buf, sizeof(buf),
+                  ",\"prov\":%" PRIu64
+                  ",\"origin\":\"%s\",\"pnode\":%u,\"born\":%.9f,\"phops\":%u",
+                  r.prov.id, net::toString(r.prov.origin), r.prov.insertedBy,
+                  r.prov.bornAt.toSeconds(),
+                  static_cast<unsigned>(r.prov.hopsAtInsert));
+    out += buf;
+  }
   const std::string_view n = note.empty() ? r.note : note;
   if (!n.empty()) {
     out += ",\"note\":\"";
@@ -193,7 +213,21 @@ void RingBufferSink::clear() {
 
 // ------------------------------------------------------------ JsonlFile
 
+void ensureParentDir(const std::string& path) {
+  std::error_code ec;
+  const std::filesystem::path p(path);
+  if (!p.has_parent_path()) return;
+  // Parallel sweep workers open sinks concurrently; serialize directory
+  // creation so racing mkdir calls cannot spuriously fail.
+  // manet-lint: allow(shared-mutable): process-wide mutex guarding
+  // filesystem mutation only; no simulation state.
+  static std::mutex dirMutex;
+  const std::lock_guard<std::mutex> lock(dirMutex);
+  std::filesystem::create_directories(p.parent_path(), ec);
+}
+
 JsonlFileSink::JsonlFileSink(const std::string& path) : path_(path) {
+  ensureParentDir(path);
   f_ = std::fopen(path.c_str(), "w");
 }
 

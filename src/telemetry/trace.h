@@ -42,6 +42,8 @@ enum class TraceEvent : std::uint8_t {
   kCacheMiss,       // lookup failed, triggering route discovery
   kCacheEvict,      // capacity eviction (detail: entries removed)
   kCacheExpire,     // timer-based expiry pruned links (detail: count)
+  kCacheInsert,     // route (or link set) inserted into a cache; the record
+                    // carries the entry's provenance (origin, born, hops)
   kNegCacheInsert,  // broken link quarantined
   kNegCacheExpire,  // quarantine aged out (detail: links expired)
   kRerrOriginate,   // route error transmitted by the detecting node
@@ -88,6 +90,13 @@ struct TraceRecord {
   std::uint32_t flowId = 0;
   std::uint64_t seqInFlow = 0;
   std::int64_t detail = 0;        // event-specific (see TraceEvent docs)
+  /// Uid of the packet that caused this packet to exist (0 = root / n.a.).
+  std::uint64_t cause = 0;
+  /// Provenance of the cache entry behind this event: for kCacheInsert /
+  /// kNegCacheInsert the entry being created, for packet events the entry
+  /// whose route the packet follows, for kCacheHit the entry served.
+  /// prov.id == 0 means "no cache entry involved" and suppresses emission.
+  net::RouteProvenance prov{};
   std::string_view note = {};     // only valid during record(); sinks copy
 };
 
@@ -133,6 +142,12 @@ class RingBufferSink final : public TraceSink {
   std::uint64_t total_ = 0;
   std::vector<Stored> buf_;
 };
+
+/// Create `path`'s parent directories if they do not exist yet, so sinks
+/// opened at sim start (before any exporter runs) can write into a not-yet
+/// created export directory. Thread-safe; best-effort (open errors are
+/// still reported by the caller).
+void ensureParentDir(const std::string& path);
 
 /// Streams records as JSON Lines to a file (one object per line), suitable
 /// for examples/trace_inspector and offline tooling.

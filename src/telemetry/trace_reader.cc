@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <fstream>
 
+#include "src/util/json.h"
+
 namespace manet::telemetry {
 
 namespace {
@@ -74,6 +76,33 @@ std::optional<std::vector<std::string>> readJsonlFile(
     if (!line.empty()) lines.push_back(line);
   }
   return lines;
+}
+
+std::optional<JsonlReadResult> readJsonlFileChecked(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  JsonlReadResult out;
+  std::string line;
+  std::size_t lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    if (line.empty()) continue;
+    std::string err;
+    const auto parsed = util::parseJson(line, &err);
+    if (!parsed) {
+      out.errors.push_back("line " + std::to_string(lineNo) + ": " + err);
+      ++out.skipped;
+      continue;
+    }
+    if (!parsed->isObject()) {
+      out.errors.push_back("line " + std::to_string(lineNo) +
+                           ": not a JSON object");
+      ++out.skipped;
+      continue;
+    }
+    out.lines.push_back(line);
+  }
+  return out;
 }
 
 }  // namespace manet::telemetry

@@ -20,8 +20,24 @@ std::optional<double> jsonNumberField(std::string_view line,
                                       std::string_view key);
 
 /// Read a JSONL file into lines (empty lines skipped). Returns nullopt if
-/// the file cannot be opened.
+/// the file cannot be opened. Performs no validation; prefer
+/// readJsonlFileChecked for anything user-facing.
 std::optional<std::vector<std::string>> readJsonlFile(
     const std::string& path);
+
+/// Result of a validating JSONL read: well-formed object lines in file
+/// order, plus a line-numbered error for every rejected line. A truncated
+/// tail (the common failure: a run killed mid-write) shows up as one error
+/// on the final line instead of silently vanishing from the analysis.
+struct JsonlReadResult {
+  std::vector<std::string> lines;   // lines that parsed as JSON objects
+  std::vector<std::string> errors;  // "line N: <why>" per rejected line
+  std::size_t skipped = 0;          // rejected line count (== errors.size())
+};
+
+/// Read + validate a JSONL file: every non-empty line must parse as a JSON
+/// object (checked with util::parseJson). Returns nullopt only if the file
+/// cannot be opened; malformed lines are collected, not fatal.
+std::optional<JsonlReadResult> readJsonlFileChecked(const std::string& path);
 
 }  // namespace manet::telemetry

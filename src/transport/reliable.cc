@@ -30,10 +30,10 @@ void ReliableReceiver::onSegment(const net::Packet& p) {
   } else if (seq > nextExpected_) {
     outOfOrder_.insert(seq);  // duplicates collapse in the set
   }
-  sendAck(p.src, 0);
+  sendAck(p.src, p.uid);
 }
 
-void ReliableReceiver::sendAck(net::NodeId to, std::uint32_t) {
+void ReliableReceiver::sendAck(net::NodeId to, std::uint64_t causeUid) {
   auto ack = net::Packet::make();
   ack->kind = net::PacketKind::kData;
   ack->src = agent_.id();
@@ -41,6 +41,7 @@ void ReliableReceiver::sendAck(net::NodeId to, std::uint32_t) {
   ack->payloadBytes = 40;  // TCP ACK-sized
   ack->transport = net::TransportHdr{
       .connId = connId_, .isAck = true, .seq = 0, .ackNo = nextExpected_};
+  ack->causeUid = causeUid;  // the segment this ACK acknowledges
   agent_.sendPacket(std::move(ack));
 }
 
@@ -142,6 +143,9 @@ void ReliableSender::trySend() {
 }
 
 void ReliableSender::sendSegment(std::uint64_t seq, bool isRetransmit) {
+  // manet-lint: allow(causal-id): root origination — stream segments are
+  // new application data; retransmits are re-makes of the same segment,
+  // not causally derived packets
   auto p = net::Packet::make();
   p->kind = net::PacketKind::kData;
   p->src = agent_.id();

@@ -48,7 +48,8 @@ class ReliableReceiver {
 
  private:
   void onSegment(const net::Packet& p);
-  void sendAck(net::NodeId to, std::uint32_t payloadEcho);
+  /// `causeUid` chains the ACK to the data segment it acknowledges.
+  void sendAck(net::NodeId to, std::uint64_t causeUid);
 
   core::DsrAgent& agent_;
   std::uint32_t connId_;

@@ -149,5 +149,41 @@ TEST_P(CacheEquivalenceTest, LinkCacheSubsumesPathCache) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CacheEquivalenceTest, ::testing::Range(1, 7));
 
+// -------------------------------------------------------------- provenance
+
+TEST(LinkCacheTest, ComposedRouteBlamesOldestConstituentLink) {
+  net::RouteProvenance::resetIdCounter();
+  LinkCache c(0, 64);
+  // Links 0->1, 1->2 minted at t=1 (one provenance record for the insert).
+  ASSERT_TRUE(c.insert(std::vector<NodeId>{0, 1, 2}, Time::seconds(1),
+                       net::RouteOrigin::kTargetReply));
+  const auto firstHit = c.lookup(2);
+  ASSERT_TRUE(firstHit);
+  // Link 2->5 minted at t=4 by a separate, fresher insertion whose own
+  // prefix (0-7-8-2) is longer than the old 0-1-2, so BFS composes the old
+  // prefix with the new tail.
+  ASSERT_TRUE(c.insert(std::vector<NodeId>{0, 7, 8, 2, 5}, Time::seconds(4),
+                       net::RouteOrigin::kSnooped));
+  // A composed route is only as fresh as its stalest link: a route through
+  // 1->2 carries the t=1 provenance, not the t=4 one.
+  const auto composed = c.lookup(5);
+  ASSERT_TRUE(composed);
+  EXPECT_EQ(composed->prov.bornAt, Time::seconds(1));
+  EXPECT_EQ(composed->prov.id, firstHit->prov.id);
+}
+
+TEST(LinkCacheTest, RelearnedLinksKeepFirstProvenance) {
+  net::RouteProvenance::resetIdCounter();
+  LinkCache c(0, 64);
+  ASSERT_TRUE(c.insert(std::vector<NodeId>{0, 1, 2}, Time::seconds(1),
+                       net::RouteOrigin::kForwarded));
+  ASSERT_TRUE(c.insert(std::vector<NodeId>{0, 1, 2}, Time::seconds(8),
+                       net::RouteOrigin::kTargetReply));
+  const auto hit = c.lookup(2);
+  ASSERT_TRUE(hit);
+  EXPECT_EQ(hit->prov.origin, net::RouteOrigin::kForwarded);
+  EXPECT_EQ(hit->prov.bornAt, Time::seconds(1));
+}
+
 }  // namespace
 }  // namespace manet::core

@@ -194,5 +194,39 @@ TEST_P(RouteCachePropertyTest, InvariantsHoldUnderRandomOps) {
 INSTANTIATE_TEST_SUITE_P(Seeds, RouteCachePropertyTest,
                          ::testing::Range(1, 9));
 
+// -------------------------------------------------------------- provenance
+
+TEST(RouteCacheTest, InsertMintsProvenanceAndLookupCarriesIt) {
+  net::RouteProvenance::resetIdCounter();
+  RouteCache c(0, 16);
+  ASSERT_TRUE(
+      c.insert(kPath, Time::seconds(2), net::RouteOrigin::kTargetReply));
+  const auto hit = c.lookup(3);
+  ASSERT_TRUE(hit);
+  EXPECT_NE(hit->prov.id, 0u);
+  EXPECT_EQ(hit->prov.origin, net::RouteOrigin::kTargetReply);
+  EXPECT_EQ(hit->prov.insertedBy, 0u);
+  EXPECT_EQ(hit->prov.bornAt, Time::seconds(2));
+  EXPECT_EQ(hit->prov.hopsAtInsert, kPath.size());
+}
+
+TEST(RouteCacheTest, ReinsertKeepsOriginalProvenance) {
+  net::RouteProvenance::resetIdCounter();
+  RouteCache c(0, 16);
+  ASSERT_TRUE(c.insert(kPath, Time::seconds(1), net::RouteOrigin::kSnooped));
+  const auto first = c.lookup(3);
+  ASSERT_TRUE(first);
+  // Re-learning the same path later, via a different mechanism, must not
+  // re-stamp the entry: lifetime attribution measures age since first
+  // learned, by the original origin.
+  ASSERT_TRUE(
+      c.insert(kPath, Time::seconds(9), net::RouteOrigin::kTargetReply));
+  const auto again = c.lookup(3);
+  ASSERT_TRUE(again);
+  EXPECT_EQ(again->prov.id, first->prov.id);
+  EXPECT_EQ(again->prov.origin, net::RouteOrigin::kSnooped);
+  EXPECT_EQ(again->prov.bornAt, Time::seconds(1));
+}
+
 }  // namespace
 }  // namespace manet::core

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 
 #include "src/net/packet.h"
@@ -153,7 +154,12 @@ TEST(JsonlFileSinkTest, WritesParseableLines) {
 }
 
 TEST(JsonlFileSinkTest, UnwritablePathIsGracefullyDisabled) {
-  JsonlFileSink sink("/nonexistent-dir-xyz/trace.jsonl");
+  // A parent component that is a regular file defeats both the automatic
+  // parent-directory creation and the open itself, on any platform and
+  // under any privilege level.
+  const std::string blocker = ::testing::TempDir() + "/jsonl_blocker";
+  { std::ofstream(blocker) << "x"; }
+  JsonlFileSink sink(blocker + "/trace.jsonl");
   EXPECT_FALSE(sink.ok());
   sink.record(dropRecord(1, 0));  // must not crash
   sink.flush();

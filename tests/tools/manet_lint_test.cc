@@ -267,6 +267,54 @@ TEST(ManetLintTest, SharedMutableOutOfScopeOutsideSrc) {
       lintSource("tests/x_test.cc", "static int g_calls = 0;\n").empty());
 }
 
+// ---------------------------------------------------------------- causal-id
+
+TEST(ManetLintTest, CausalIdFlagsUnlinkedPacketMake) {
+  const auto fs = lintSource("src/core/x.cc",
+                             "void f() {\n"
+                             "  auto p = net::Packet::make();\n"
+                             "  p->kind = net::PacketKind::kRouteError;\n"
+                             "}\n");
+  ASSERT_TRUE(hasRule(fs, "causal-id"));
+  EXPECT_EQ(lineOf(fs, "causal-id"), 2);
+}
+
+TEST(ManetLintTest, CausalIdAcceptsNearbyCauseAssignment) {
+  const auto fs = lintSource(
+      "src/aodv/x.cc",
+      "void f(const net::PacketPtr& req) {\n"
+      "  auto p = net::Packet::make();\n"
+      "  p->kind = net::PacketKind::kRouteReply;\n"
+      "  p->causeUid = req->uid;\n"
+      "}\n");
+  EXPECT_FALSE(hasRule(fs, "causal-id"));
+}
+
+TEST(ManetLintTest, CausalIdRootOriginationSuppressible) {
+  const auto fs = lintSource(
+      "src/transport/x.cc",
+      "void f() {\n"
+      "  // manet-lint: allow(causal-id): new application data has no cause\n"
+      "  auto p = net::Packet::make();\n"
+      "}\n");
+  EXPECT_FALSE(hasRule(fs, "causal-id"));
+}
+
+TEST(ManetLintTest, CausalIdExemptsFactoryAndNonProtocolCode) {
+  // The factory definition itself (src/net/packet.cc) is out of scope.
+  EXPECT_FALSE(hasRule(
+      lintSource("src/net/packet.cc",
+                 "std::shared_ptr<Packet> Packet::make() { return {}; }\n"),
+      "causal-id"));
+  // Tests and reporting layers may build packets freely.
+  EXPECT_FALSE(hasRule(
+      lintSource("tests/x_test.cc", "auto p = net::Packet::make();\n"),
+      "causal-id"));
+  EXPECT_FALSE(hasRule(
+      lintSource("src/telemetry/x.cc", "auto p = net::Packet::make();\n"),
+      "causal-id"));
+}
+
 // ------------------------------------------------------------ allow syntax
 
 TEST(ManetLintTest, BareAllowIsItselfAFindingAndDoesNotSuppress) {

@@ -60,6 +60,14 @@ const std::vector<RuleInfo> kRules = {
      "bit-identical replay. Keep state per-Scenario; a true process-wide "
      "sink (log level, stderr mutex) or a thread_local with a per-run reset "
      "must carry an allow comment stating why it cannot perturb results."},
+    {"causal-id",
+     "Packet::make() without a causeUid link in protocol code",
+     "The causal trace layer reconstructs why every packet exists from "
+     "causeUid links (reply <- request, error <- failed packet, ack <- "
+     "segment). A protocol-layer Packet::make() that never assigns causeUid "
+     "silently breaks those chains. Set `p->causeUid = <trigger>->uid` in "
+     "the construction block, or allowlist a true root origination (new "
+     "application data) with the reason."},
     {"bare-allow",
      "manet-lint allow() comment without a justification",
      "Every suppression must record why the flagged construct cannot perturb "
@@ -549,6 +557,52 @@ void checkSharedMutable(const std::string& code,
   }
 }
 
+/// causal-id: every Packet::make() in protocol code must wire the new
+/// packet into a causal chain by assigning `causeUid` somewhere in its
+/// construction block. The check is textual on purpose: a `causeUid`
+/// mention within the next few lines of the (comment-stripped) code is
+/// taken as the link. Root originations — packets with no cause, like new
+/// application data — carry an allow comment instead. Clones are exempt by
+/// construction (net::clone preserves uid and causeUid).
+void checkCausalIds(const std::string& code,
+                    const std::vector<std::string>& codeLines,
+                    const std::map<int, Allow>& allows,
+                    const std::string& relPath, std::vector<Finding>* out) {
+  /// Lines after Packet::make() searched for the causeUid assignment — the
+  /// repo's construction blocks (kind/src/dst/headers) all fit well inside.
+  constexpr std::size_t kWindow = 15;
+  static const std::regex kMake(R"(\bPacket::make\s*\()");
+  for (auto it = std::sregex_iterator(code.begin(), code.end(), kMake);
+       it != std::sregex_iterator(); ++it) {
+    const auto start = static_cast<std::size_t>(it->position(0));
+    const int line = 1 + static_cast<int>(std::count(
+                             code.begin(),
+                             code.begin() + static_cast<std::ptrdiff_t>(start),
+                             '\n'));
+    // The factory's own definition ends in '{', not a call expression.
+    const std::size_t lineStart = code.rfind('\n', start) + 1;
+    const std::string before = code.substr(lineStart, start - lineStart);
+    if (before.find("shared_ptr") != std::string::npos) continue;
+    bool linked = false;
+    for (std::size_t l = static_cast<std::size_t>(line);
+         l <= static_cast<std::size_t>(line) + kWindow &&
+         l <= codeLines.size();
+         ++l) {
+      if (codeLines[l - 1].find("causeUid") != std::string::npos) {
+        linked = true;
+        break;
+      }
+    }
+    if (linked) continue;
+    if (isAllowed(allows, line, "causal-id")) continue;
+    out->push_back(
+        {relPath, line, "causal-id",
+         "Packet::make() with no causeUid assignment nearby; link the "
+         "packet to its trigger (p->causeUid = trigger->uid) or allowlist "
+         "a root origination"});
+  }
+}
+
 // ------------------------------------------------------------- self-test
 
 struct Fixture {
@@ -649,6 +703,34 @@ const Fixture kFixtures[] = {
      nullptr},
     {"shared-mutable fine outside src", "bench/ok_static.cc",
      "static int callCount = 0;\n", nullptr},
+    {"causal-id hit", "src/core/bad_causal.cc",
+     "void f() {\n"
+     "  auto p = net::Packet::make();\n"
+     "  p->kind = net::PacketKind::kRouteReply;\n"
+     "}\n",
+     "causal-id"},
+    {"causal-id linked clean", "src/aodv/ok_causal.cc",
+     "void f(const net::PacketPtr& req) {\n"
+     "  auto p = net::Packet::make();\n"
+     "  p->kind = net::PacketKind::kRouteReply;\n"
+     "  p->causeUid = req->uid;\n"
+     "}\n",
+     nullptr},
+    {"causal-id root origination allowlisted", "src/transport/ok_root.cc",
+     "void f() {\n"
+     "  // manet-lint: allow(causal-id): new application data has no cause\n"
+     "  auto p = net::Packet::make();\n"
+     "  p->kind = net::PacketKind::kData;\n"
+     "}\n",
+     nullptr},
+    {"causal-id factory definition clean", "src/net/packet.cc",
+     "std::shared_ptr<Packet> Packet::make() {\n"
+     "  auto p = std::make_shared<Packet>();\n"
+     "  return p;\n"
+     "}\n",
+     nullptr},
+    {"causal-id out of scope in tests", "tests/core/ok_test.cc",
+     "void f() { auto p = net::Packet::make(); (void)p; }\n", nullptr},
     {"comment mention clean", "src/core/ok_comment.cc",
      "// rand() and steady_clock are banned here; see DESIGN.md\nint x;\n",
      nullptr},
@@ -734,6 +816,9 @@ std::vector<Finding> lintSource(const std::string& relPath,
   }
   if (inSrc) {
     checkSharedMutable(lexed.code, allows, relPath, &out);
+  }
+  if (simCore && !startsWith(relPath, "src/net/packet.")) {
+    checkCausalIds(lexed.code, codeLines, allows, relPath, &out);
   }
 
   std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {

@@ -1,0 +1,156 @@
+// manet_trace: offline causal analysis of JSONL traces.
+//
+// Run any scenario or bench with MANET_TRACE_JSONL=<path>, then ask the
+// trace the questions the end-of-run counters cannot answer:
+//
+//   manet_trace <trace.jsonl>                   summary (record/event totals)
+//   manet_trace <trace.jsonl> --chain <uid>     full causal chain of one
+//                                               packet: ancestry back to the
+//                                               application packet that
+//                                               started it, every record of
+//                                               every packet on the chain,
+//                                               and the packets it caused
+//   manet_trace <trace.jsonl> --stale-report    attribute every stale-route
+//                                               drop to the cache insertion
+//                                               that supplied the route
+//                                               (origin x entry-age table)
+//   manet_trace <trace.jsonl> --perfetto <out>  convert the trace to a
+//                                               Perfetto / chrome://tracing
+//                                               timeline (trace_event JSON)
+//
+// Malformed lines (e.g. the truncated tail of a killed run) are reported to
+// stderr with line numbers and skipped; analysis runs on the valid rest.
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/telemetry/causal.h"
+#include "src/telemetry/perfetto.h"
+#include "src/telemetry/trace_reader.h"
+
+using namespace manet;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <trace.jsonl> [--summary] [--chain <uid>]"
+               " [--stale-report] [--perfetto <out.json>]\n",
+               argv0);
+  return 2;
+}
+
+void printSummary(const telemetry::CausalIndex& idx) {
+  std::map<std::string, std::uint64_t> events;
+  std::map<std::string, std::uint64_t> drops;
+  std::uint64_t packetScoped = 0;
+  std::uint64_t withCause = 0;
+  std::uint64_t withProv = 0;
+  double firstT = 0.0, lastT = 0.0;
+  bool any = false;
+  for (const telemetry::CausalRecord& r : idx.records()) {
+    ++events[r.event];
+    if (!any) firstT = r.t;
+    lastT = r.t;
+    any = true;
+    if (r.uid != 0) ++packetScoped;
+    if (r.cause != 0) ++withCause;
+    if (r.prov != 0) ++withProv;
+    if (r.event == "pkt_drop") ++drops[r.reason];
+  }
+  std::printf("%zu records, t = [%.3f s, %.3f s]\n", idx.records().size(),
+              firstT, lastT);
+  std::printf("packet-scoped %" PRIu64 ", with cause link %" PRIu64
+              ", with provenance %" PRIu64 "\n\n",
+              packetScoped, withCause, withProv);
+  std::printf("event totals:\n");
+  for (const auto& [ev, n] : events) {
+    std::printf("  %-18s %10" PRIu64 "\n", ev.c_str(), n);
+  }
+  if (!drops.empty()) {
+    std::printf("\ndrop reasons:\n");
+    for (const auto& [why, n] : drops) {
+      std::printf("  %-22s %10" PRIu64 "\n", why.c_str(), n);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  const std::string path = argv[1];
+  if (path == "--help" || path == "-h") return usage(argv[0]);
+
+  bool summary = false;
+  bool staleReport = false;
+  std::vector<std::uint64_t> chains;
+  std::string perfettoOut;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--summary") {
+      summary = true;
+    } else if (arg == "--stale-report") {
+      staleReport = true;
+    } else if (arg == "--chain" && i + 1 < argc) {
+      char* end = nullptr;
+      const std::uint64_t uid = std::strtoull(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || uid == 0) {
+        std::fprintf(stderr, "--chain: '%s' is not a packet uid\n", argv[i]);
+        return 2;
+      }
+      chains.push_back(uid);
+    } else if (arg == "--perfetto" && i + 1 < argc) {
+      perfettoOut = argv[++i];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (!summary && !staleReport && chains.empty() && perfettoOut.empty()) {
+    summary = true;  // bare invocation: summarise
+  }
+
+  const auto read = telemetry::readJsonlFileChecked(path);
+  if (!read) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  if (read->skipped > 0) {
+    std::fprintf(stderr, "%s: skipped %zu malformed line(s):\n", path.c_str(),
+                 read->skipped);
+    for (const std::string& e : read->errors) {
+      std::fprintf(stderr, "  %s\n", e.c_str());
+    }
+  }
+
+  const telemetry::CausalIndex idx =
+      telemetry::CausalIndex::fromLines(read->lines);
+
+  if (summary) printSummary(idx);
+
+  for (std::uint64_t uid : chains) {
+    if (idx.packetRecords(uid).empty()) {
+      std::fprintf(stderr, "no records for packet uid %" PRIu64 "\n", uid);
+      return 1;
+    }
+    std::fputs(idx.renderChain(uid).c_str(), stdout);
+  }
+
+  if (staleReport) {
+    std::fputs(idx.staleReport().render().c_str(), stdout);
+  }
+
+  if (!perfettoOut.empty()) {
+    const long n = telemetry::convertJsonlToPerfetto(read->lines, perfettoOut);
+    if (n < 0) {
+      std::fprintf(stderr, "cannot write %s\n", perfettoOut.c_str());
+      return 1;
+    }
+    std::printf("wrote %ld timeline events to %s\n", n, perfettoOut.c_str());
+  }
+  return 0;
+}
