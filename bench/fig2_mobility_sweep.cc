@@ -98,5 +98,5 @@ int main(int argc, char** argv) {
   std::printf("%zu points x %d seeds in %.1f s (%d jobs)\n",
               plan.pointCount(), result.replications, result.wallSeconds,
               result.jobs);
-  return 0;
+  return cli.finish(result);
 }

@@ -1,0 +1,123 @@
+// Durable per-cell result journal for experiment campaigns.
+//
+// A campaign (one runPlan call) appends one JSONL record per completed
+// (point x seed) cell to an append-only journal file, each append flushed
+// and fsynced (util::appendLineDurable) so a crash, OOM kill, or power cut
+// loses at most the cell that was in flight. Records are keyed by the
+// plan's collision-checked stable cell label plus a content hash of
+// (config fingerprint, per-cell mobility seed, code version); --resume
+// loads the journal, restores every matching completed cell losslessly
+// (doubles serialized with %.17g round-trip exactly), and re-runs only the
+// rest — aggregates and exports are byte-identical to an uninterrupted run
+// (proven by tests/integration/resume_determinism_test.cc).
+//
+// Journal line shapes (schema version kJournalSchemaVersion):
+//   {"type":"campaign","schema":1,"plan":...,"points":N,"replications":R,
+//    "code_version":...,"cmd":...}
+//   {"type":"cell","label":...,"rep":N,"key":"<16-hex>","status":"done",
+//    "attempts":N,"result":{...lossless RunResult...}}
+//   {"type":"cell",...,"status":"quarantined"|"failed","error":...}
+//
+// The loader is deliberately forgiving: a truncated or corrupt line (the
+// tail a crash can leave despite O_APPEND, or a concurrent writer bug)
+// is counted and skipped, never fatal — an interrupted campaign must
+// always be resumable from whatever prefix survived.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/scenario/scenario.h"
+
+namespace manet::scenario {
+
+inline constexpr int kJournalSchemaVersion = 1;
+
+/// Build/code identity baked in at configure time (git SHA when available).
+/// Part of every cell key: results journaled by a different build never
+/// satisfy a --resume, they are re-run.
+std::string codeVersion();
+
+/// Stable serialization of every config knob that can influence simulation
+/// results (topology, traffic, protocol + DSR/AODV/MAC/PHY knobs, fault
+/// plan). Telemetry/profiling knobs are excluded on purpose: tracing is
+/// proven not to perturb results, so a resume may change trace settings.
+std::string configFingerprint(const ScenarioConfig& cfg);
+
+/// Content hash (16 hex chars, FNV-1a 64) of configFingerprint + the
+/// cell's final mobility seed + codeVersion().
+std::string cellKey(const ScenarioConfig& cfg);
+
+/// Lossless RunResult serialization for journal payloads and the
+/// isolated-cell child protocol. Unlike telemetry::runResultJson (a
+/// human-facing %.9g export), doubles are printed with %.17g so parsing
+/// reproduces bit-identical values; volatile profile data is dropped,
+/// wall_seconds is carried for reporting only.
+std::string runResultToJournalJson(const RunResult& r);
+
+/// Inverse of runResultToJournalJson. Returns nullopt (with a message in
+/// `err` when non-null) on malformed input.
+std::optional<RunResult> runResultFromJournalJson(const std::string& json,
+                                                  std::string* err = nullptr);
+
+struct JournalEntry {
+  std::string label;
+  int rep = 0;
+  std::string key;     // cellKey() hex at the time the cell ran
+  std::string status;  // "done" | "quarantined" | "failed"
+  int attempts = 1;
+  std::string error;          // for quarantined/failed cells
+  std::string resultJson;     // raw payload for done cells
+  double wallSeconds = 0.0;   // reporting only
+};
+
+struct CampaignInfo {
+  std::string plan;
+  std::size_t points = 0;
+  int replications = 0;
+  std::string codeVersion;
+  std::string cmd;  // how the campaign was launched (for resume-cmd)
+};
+
+/// Everything a loaded journal knows. `cells` keeps the LAST record per
+/// (label, rep) — a resumed campaign appends fresh records for re-run
+/// cells, and the latest attempt wins.
+struct JournalState {
+  std::vector<CampaignInfo> campaigns;
+  std::map<std::pair<std::string, int>, JournalEntry> cells;
+  std::size_t corruptLines = 0;  // skipped, never fatal
+  std::size_t totalLines = 0;
+
+  std::size_t countStatus(const std::string& status) const;
+};
+
+/// Append-side handle: serializes concurrent workers' appends and makes
+/// each record durable before returning.
+class JournalWriter {
+ public:
+  explicit JournalWriter(std::string path) : path_(std::move(path)) {}
+
+  const std::string& path() const { return path_; }
+
+  /// Write the campaign header record (call once per runPlan invocation).
+  bool campaign(const CampaignInfo& info);
+
+  /// Append one cell record. Thread-safe.
+  bool cell(const JournalEntry& e);
+
+ private:
+  std::string path_;
+  std::mutex mu_;
+};
+
+/// Parse a journal file. Missing file yields an empty state (resuming a
+/// campaign that never started is just a fresh campaign); corrupt lines are
+/// skipped and counted.
+JournalState loadJournal(const std::string& path);
+
+}  // namespace manet::scenario

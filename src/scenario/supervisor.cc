@@ -1,0 +1,103 @@
+#include "src/scenario/supervisor.h"
+
+#include <signal.h>
+#include <spawn.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+extern char** environ;
+
+namespace manet::scenario {
+
+std::string ChildResult::describe() const {
+  char buf[96];
+  switch (outcome) {
+    case Outcome::kOk:
+      return "ok";
+    case Outcome::kExit:
+      std::snprintf(buf, sizeof(buf), "exit %d", exitCode);
+      return buf;
+    case Outcome::kSignal:
+      std::snprintf(buf, sizeof(buf), "signal %d (%s)", signal,
+                    strsignal(signal));
+      return buf;
+    case Outcome::kTimeout:
+      std::snprintf(buf, sizeof(buf), "timeout after %.1fs", wallSeconds);
+      return buf;
+    case Outcome::kSpawnFailed:
+      return "spawn failed";
+  }
+  return "unknown";
+}
+
+ChildResult runChildProcess(const std::vector<std::string>& argv,
+                            double timeoutSec) {
+  ChildResult res;
+  if (argv.empty()) return res;
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const std::string& a : argv) {
+    cargv.push_back(const_cast<char*>(a.c_str()));
+  }
+  cargv.push_back(nullptr);
+
+  // posix_spawnp instead of fork+exec: runPlan's worker threads may be
+  // alive when a cell is dispatched, and fork() in a multithreaded process
+  // only leaves async-signal-safe calls available before exec. The p
+  // variant resolves a bare program name through PATH, matching how the
+  // campaign binary itself was invoked.
+  pid_t pid = -1;
+  // manet-lint: allow(subprocess): supervised cell isolation IS this layer
+  const int rc = ::posix_spawnp(&pid, cargv[0], nullptr, nullptr,
+                                cargv.data(), environ);
+  if (rc != 0) {
+    std::fprintf(stderr, "supervisor: posix_spawn %s: %s\n", argv[0].c_str(),
+                 std::strerror(rc));
+    return res;
+  }
+
+  // Wall-clock watchdog: the deadline bounds real elapsed time of an
+  // external process, which has nothing to do with simulated time.
+  // manet-lint: allow(wall-clock): child-process watchdog deadline
+  const auto start = std::chrono::steady_clock::now();
+  bool killed = false;
+  int status = 0;
+  for (;;) {
+    const pid_t w = ::waitpid(pid, &status, WNOHANG);
+    if (w == pid) break;
+    if (w < 0 && errno != EINTR) {
+      std::fprintf(stderr, "supervisor: waitpid: %s\n", std::strerror(errno));
+      return res;
+    }
+    // manet-lint: allow(wall-clock): child-process watchdog deadline
+    const auto now = std::chrono::steady_clock::now();
+    const double elapsed = std::chrono::duration<double>(now - start).count();
+    if (timeoutSec > 0 && elapsed >= timeoutSec && !killed) {
+      ::kill(pid, SIGKILL);
+      killed = true;  // keep polling: reap the corpse, then report timeout
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  // manet-lint: allow(wall-clock): child-process watchdog deadline
+  const auto end = std::chrono::steady_clock::now();
+  res.wallSeconds = std::chrono::duration<double>(end - start).count();
+
+  if (killed) {
+    res.outcome = ChildResult::Outcome::kTimeout;
+  } else if (WIFEXITED(status)) {
+    res.exitCode = WEXITSTATUS(status);
+    res.outcome = res.exitCode == 0 ? ChildResult::Outcome::kOk
+                                    : ChildResult::Outcome::kExit;
+  } else if (WIFSIGNALED(status)) {
+    res.signal = WTERMSIG(status);
+    res.outcome = ChildResult::Outcome::kSignal;
+  }
+  return res;
+}
+
+}  // namespace manet::scenario

@@ -1,0 +1,43 @@
+// Supervised child-process execution for isolated experiment cells.
+//
+// With --isolate-cells, runPlan re-executes its own binary per cell
+// (replay_runner-style: same argv rebuilds the same deterministic plan, a
+// hidden --run-cell flag selects one cell, the child writes its lossless
+// result JSON atomically and exits). The supervisor here spawns that child,
+// enforces a wall-clock watchdog deadline (SIGKILL on expiry — safe because
+// the child owns no shared state), and reports exactly how it ended so the
+// runner can retry, quarantine, or accept the result.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace manet::scenario {
+
+/// How a supervised child ended.
+struct ChildResult {
+  enum class Outcome {
+    kOk,       // exited 0
+    kExit,     // exited nonzero (exitCode set)
+    kSignal,   // killed by a signal, e.g. a sanitizer abort (signal set)
+    kTimeout,  // watchdog deadline hit; child was SIGKILLed
+    kSpawnFailed,
+  };
+  Outcome outcome = Outcome::kSpawnFailed;
+  int exitCode = 0;
+  int signal = 0;
+  double wallSeconds = 0.0;
+
+  bool ok() const { return outcome == Outcome::kOk; }
+  /// Human-readable failure description ("exit 3", "signal 11 (SIGSEGV)",
+  /// "timeout after 4.0s", ...).
+  std::string describe() const;
+};
+
+/// Spawn `argv` (argv[0] is the executable path) and wait for it, killing
+/// it if it outlives `timeoutSec` (<= 0 means no deadline). Stdout/stderr
+/// are inherited. Never throws; spawn failures are reported in the result.
+ChildResult runChildProcess(const std::vector<std::string>& argv,
+                            double timeoutSec);
+
+}  // namespace manet::scenario

@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <sstream>
 
 #include "src/telemetry/export.h"
+#include "src/util/atomic_file.h"
 
 namespace manet::scenario {
 
@@ -65,8 +65,9 @@ std::string Table::csv() const {
 void Table::print(const std::string& title, const std::string& csvPath) const {
   std::printf("\n== %s ==\n%s", title.c_str(), str().c_str());
   if (!csvPath.empty()) {
-    std::ofstream f(csvPath);
-    f << csv();
+    // Atomic (write-temp-rename) like every other artifact: a crash during
+    // a table dump must not leave a truncated CSV under the final name.
+    util::atomicWriteFile(csvPath, csv());
     std::printf("(csv written to %s)\n", csvPath.c_str());
     // Mirror the CSV into the structured-export directory, if configured.
     if (const char* dir = std::getenv("MANET_EXPORT_DIR");

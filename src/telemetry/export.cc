@@ -2,9 +2,9 @@
 
 #include <cinttypes>
 #include <cstdio>
-#include <fstream>
 
 #include "src/prof/profiler.h"
+#include "src/util/atomic_file.h"
 
 namespace manet::telemetry {
 
@@ -123,7 +123,8 @@ std::string runResultJson(const scenario::RunResult& r,
 
 std::string aggregateJson(const scenario::AggregateResult& agg,
                           const scenario::ScenarioConfig& cfg,
-                          std::string_view label) {
+                          std::string_view label,
+                          const std::vector<int>* quarantinedReps) {
   std::string out = "{\"label\":\"";
   out += label;
   out += "\",\"config\":{";
@@ -144,6 +145,16 @@ std::string aggregateJson(const scenario::AggregateResult& agg,
   out += "\"}";
   out += ",\"aggregate\":{\"replications\":";
   out += std::to_string(agg.runs.size());
+  // Only emitted for degraded campaigns: a clean run's artifact stays
+  // byte-identical to every aggregate exported before quarantine existed.
+  if (quarantinedReps != nullptr && !quarantinedReps->empty()) {
+    out += ",\"quarantined_reps\":[";
+    for (std::size_t i = 0; i < quarantinedReps->size(); ++i) {
+      if (i > 0) out += ',';
+      out += std::to_string((*quarantinedReps)[i]);
+    }
+    out += ']';
+  }
   kvStats(out, "delivery_fraction", agg.deliveryFraction);
   kvStats(out, "avg_delay_s", agg.avgDelaySec);
   kvStats(out, "normalized_overhead", agg.normalizedOverhead);
@@ -190,25 +201,23 @@ std::string seriesCsv(const SampleSeries& s) {
 }
 
 bool writeFile(const std::string& path, std::string_view content) {
-  ensureParentDir(path);
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    std::fprintf(stderr, "telemetry: cannot write %s\n", path.c_str());
-    return false;
-  }
-  out.write(content.data(),
-            static_cast<std::streamsize>(content.size()));
-  return static_cast<bool>(out);
+  // Crash safety satellite: every structured artifact lands via
+  // write-temp-fsync-rename, so readers only ever see absent-or-complete.
+  return util::atomicWriteFile(path, content);
 }
 
 int exportAggregate(const scenario::AggregateResult& agg,
                     const scenario::ScenarioConfig& cfg,
-                    std::string_view label) {
+                    std::string_view label,
+                    const std::vector<int>* quarantinedReps) {
   if (cfg.telemetry.exportDir.empty()) return 0;
   const std::string base =
       cfg.telemetry.exportDir + "/" + std::string(label);
   int written = 0;
-  if (writeFile(base + ".json", aggregateJson(agg, cfg, label))) ++written;
+  if (writeFile(base + ".json",
+                aggregateJson(agg, cfg, label, quarantinedReps))) {
+    ++written;
+  }
   for (std::size_t i = 0; i < agg.runs.size(); ++i) {
     if (agg.runs[i].series.empty()) continue;
     if (writeFile(base + ".r" + std::to_string(i) + ".series.csv",

@@ -8,6 +8,7 @@
 
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "src/scenario/experiment.h"
 #include "src/scenario/scenario.h"
@@ -32,15 +33,23 @@ std::string runResultJson(const scenario::RunResult& r,
 /// Per-run entries are volatile-free (no wall_seconds / profile block), so
 /// the artifact is a pure function of the configuration — byte-identical
 /// across hosts, repeat runs, and sweep job counts.
+///
+/// `quarantinedReps` (optional) lists replication indices the supervisor
+/// quarantined; when non-null and non-empty a "quarantined_reps" array is
+/// emitted so a degraded artifact is self-describing. Clean runs emit
+/// exactly the historical byte sequence.
 std::string aggregateJson(const scenario::AggregateResult& agg,
                           const scenario::ScenarioConfig& cfg,
-                          std::string_view label);
+                          std::string_view label,
+                          const std::vector<int>* quarantinedReps = nullptr);
 
 /// Sampled series as CSV (header + one row per probe).
 std::string seriesCsv(const SampleSeries& s);
 
-/// Create parent directories as needed and write `content` to `path`.
-/// Returns false (and logs to stderr) on failure.
+/// Write `content` to `path` crash-safely (util::atomicWriteFile:
+/// write-temp-fsync-rename), creating parent directories as needed — a
+/// SIGKILL mid-export can never leave a torn artifact. Returns false (and
+/// logs to stderr) on failure.
 bool writeFile(const std::string& path, std::string_view content);
 
 /// Write `<dir>/<label>.json` (aggregate + runs) and, for every run with a
@@ -48,6 +57,7 @@ bool writeFile(const std::string& path, std::string_view content);
 /// cfg.telemetry.exportDir is empty. Returns the number of files written.
 int exportAggregate(const scenario::AggregateResult& agg,
                     const scenario::ScenarioConfig& cfg,
-                    std::string_view label);
+                    std::string_view label,
+                    const std::vector<int>* quarantinedReps = nullptr);
 
 }  // namespace manet::telemetry

@@ -1,0 +1,175 @@
+// End-to-end durability contract: a sweep SIGKILLed mid-campaign and
+// resumed from its journal must produce byte-identical aggregate artifacts
+// to an uninterrupted run, at any --jobs; and a cell that crashes or hangs
+// under --isolate-cells is quarantined while the rest of the campaign
+// completes and reports the failure through the journal and the exit code.
+//
+// Everything runs through the replay_runner helper binary (separate OS
+// processes), because the interesting failure modes — an uncatchable
+// SIGKILL, an abort() inside a cell, a supervisor reaping a hung child —
+// only exist across process boundaries.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <csignal>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+int runCmd(const std::string& cmd) {
+  const int status = std::system(cmd.c_str());
+  if (status == -1) return -1;
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  if (WIFSIGNALED(status)) return 128 + WTERMSIG(status);
+  return -2;
+}
+
+std::string runner() { return std::string(REPLAY_RUNNER_PATH); }
+
+const char* kPointA = "replay_sweep_pause_s=0";
+const char* kPointB = "replay_sweep_pause_s=5";
+
+/// Uninterrupted reference artifacts, produced once per test binary run.
+struct Reference {
+  std::string base;
+  std::string pointA;
+  std::string pointB;
+};
+
+const Reference& reference() {
+  static const Reference ref = [] {
+    Reference r;
+    r.base = ::testing::TempDir() + "resume_ref";
+    EXPECT_EQ(runCmd(runner() + " --sweep " + r.base + " 1"), 0);
+    r.pointA = slurp(r.base + "." + kPointA + ".json");
+    r.pointB = slurp(r.base + "." + kPointB + ".json");
+    EXPECT_FALSE(r.pointA.empty());
+    EXPECT_FALSE(r.pointB.empty());
+    return r;
+  }();
+  return ref;
+}
+
+}  // namespace
+
+TEST(ResumeDeterminismTest, KilledSweepResumesByteIdentically) {
+  const std::string dir = ::testing::TempDir();
+  const std::string base = dir + "resume_kill";
+  const std::string journal = dir + "resume_kill.journal.jsonl";
+  std::remove(journal.c_str());
+
+  // Phase 1: SIGKILL after 2 of the 4 cells completed. The process dies by
+  // signal — there is no chance to flush, export, or clean up; the fsynced
+  // journal prefix is all that survives.
+  const int killed = runCmd(runner() + " --sweep " + base +
+                            " 1 --journal " + journal + " --kill-after 2");
+  EXPECT_EQ(killed, 128 + SIGKILL);
+  EXPECT_FALSE(slurp(journal).empty()) << "journal must survive the kill";
+
+  // Phase 2: resume. Only the missing cells run; the artifacts must be
+  // byte-identical to an uninterrupted campaign's.
+  ASSERT_EQ(runCmd(runner() + " --sweep " + base + " 1 --journal " +
+                   journal + " --resume"),
+            0);
+  EXPECT_EQ(slurp(base + "." + kPointA + ".json"), reference().pointA);
+  EXPECT_EQ(slurp(base + "." + kPointB + ".json"), reference().pointB);
+}
+
+TEST(ResumeDeterminismTest, ResumeWithParallelJobsIsByteIdentical) {
+  // Resuming with a different worker count than the killed campaign used
+  // must not change a byte: restored cells and freshly-run cells merge in
+  // plan order, not completion order.
+  const std::string dir = ::testing::TempDir();
+  const std::string base = dir + "resume_par";
+  const std::string journal = dir + "resume_par.journal.jsonl";
+  std::remove(journal.c_str());
+
+  const int killed = runCmd(runner() + " --sweep " + base +
+                            " 1 --journal " + journal + " --kill-after 1");
+  EXPECT_EQ(killed, 128 + SIGKILL);
+  ASSERT_EQ(runCmd(runner() + " --sweep " + base + " 4 --journal " +
+                   journal + " --resume"),
+            0);
+  EXPECT_EQ(slurp(base + "." + kPointA + ".json"), reference().pointA);
+  EXPECT_EQ(slurp(base + "." + kPointB + ".json"), reference().pointB);
+}
+
+TEST(ResumeDeterminismTest, FullJournalResumeRunsNothingAndMatches) {
+  // Journal a complete campaign, then resume it: nothing re-runs (the
+  // journal still only holds one generation of cell records) and the
+  // exports are reproduced byte-identically purely from journaled results.
+  const std::string dir = ::testing::TempDir();
+  const std::string base = dir + "resume_full";
+  const std::string journal = dir + "resume_full.journal.jsonl";
+  std::remove(journal.c_str());
+
+  ASSERT_EQ(runCmd(runner() + " --sweep " + base + " 1 --journal " + journal),
+            0);
+  const std::string journalAfterFirst = slurp(journal);
+  ASSERT_EQ(runCmd(runner() + " --sweep " + base + " 1 --journal " +
+                   journal + " --resume"),
+            0);
+  EXPECT_EQ(slurp(base + "." + kPointA + ".json"), reference().pointA);
+  EXPECT_EQ(slurp(base + "." + kPointB + ".json"), reference().pointB);
+  // Resume appended a fresh campaign header but no new cell records.
+  const std::string journalAfterResume = slurp(journal);
+  EXPECT_EQ(journalAfterResume.rfind("\"type\":\"cell\""),
+            journalAfterFirst.rfind("\"type\":\"cell\""));
+}
+
+TEST(ResumeDeterminismTest, CrashedCellIsQuarantinedRestOfSweepCompletes) {
+  const std::string dir = ::testing::TempDir();
+  const std::string base = dir + "quarantine_crash";
+  const std::string journal = dir + "quarantine_crash.journal.jsonl";
+  std::remove(journal.c_str());
+
+  // Every cell of point A abort()s inside its supervised child process.
+  // The campaign must finish anyway, export the healthy point
+  // byte-identically, journal the quarantined cells, and exit nonzero.
+  const int rc = runCmd(runner() + " --sweep " + base + " 2 --journal " +
+                        journal + " --isolate --crash-cell " + kPointA);
+  EXPECT_EQ(rc, 1);
+  EXPECT_EQ(slurp(base + "." + kPointB + ".json"), reference().pointB);
+  const std::string j = slurp(journal);
+  EXPECT_NE(j.find("\"status\":\"quarantined\""), std::string::npos);
+  EXPECT_NE(j.find(kPointA), std::string::npos);
+}
+
+TEST(ResumeDeterminismTest, IsolatedCellsReproduceInProcessResultsExactly) {
+  // Supervised child execution must not perturb results: a fully isolated
+  // sweep's artifacts byte-match the in-process reference.
+  const std::string dir = ::testing::TempDir();
+  const std::string base = dir + "isolate_clean";
+  ASSERT_EQ(runCmd(runner() + " --sweep " + base + " 2 --isolate"), 0);
+  EXPECT_EQ(slurp(base + "." + kPointA + ".json"), reference().pointA);
+  EXPECT_EQ(slurp(base + "." + kPointB + ".json"), reference().pointB);
+}
+
+TEST(ResumeDeterminismTest, HungCellIsKilledByWatchdogAndQuarantined) {
+  const std::string dir = ::testing::TempDir();
+  const std::string base = dir + "quarantine_hang";
+  const std::string journal = dir + "quarantine_hang.journal.jsonl";
+  std::remove(journal.c_str());
+
+  // Cells of point A sleep forever in their child; a 2s watchdog reaps
+  // them. The healthy point still completes and exports byte-identically.
+  const int rc = runCmd(runner() + " --sweep " + base + " 2 --journal " +
+                        journal + " --isolate --hang-cell " +
+                        std::string(kPointA) + " --cell-timeout 2");
+  EXPECT_EQ(rc, 1);
+  EXPECT_EQ(slurp(base + "." + kPointB + ".json"), reference().pointB);
+  const std::string j = slurp(journal);
+  EXPECT_NE(j.find("\"status\":\"quarantined\""), std::string::npos);
+  EXPECT_NE(j.find("timeout after"), std::string::npos);
+}

@@ -68,6 +68,15 @@ const std::vector<RuleInfo> kRules = {
      "silently breaks those chains. Set `p->causeUid = <trigger>->uid` in "
      "the construction block, or allowlist a true root origination (new "
      "application data) with the reason."},
+    {"subprocess",
+     "process spawning (fork/exec/posix_spawn/system/popen) in src/ outside "
+     "the supervisor",
+     "Library code creating processes is invisible to the determinism "
+     "contract: a child inherits no scheduler, can deadlock a fork()ed "
+     "multithreaded parent, and its exit status rarely reaches the campaign "
+     "report. Supervised cell isolation (src/scenario/supervisor.cc) is the "
+     "single sanctioned spawn point and carries per-line allows; tools/, "
+     "tests/ and bench/ drive binaries freely."},
     {"bare-allow",
      "manet-lint allow() comment without a justification",
      "Every suppression must record why the flagged construct cannot perturb "
@@ -731,6 +740,28 @@ const Fixture kFixtures[] = {
      nullptr},
     {"causal-id out of scope in tests", "tests/core/ok_test.cc",
      "void f() { auto p = net::Packet::make(); (void)p; }\n", nullptr},
+    {"subprocess system hit", "src/core/bad_spawn.cc",
+     "#include <cstdlib>\nint f() { return std::system(\"ls\"); }\n",
+     "subprocess"},
+    {"subprocess spawn hit", "src/net/bad_exec.cc",
+     "#include <spawn.h>\n"
+     "int f(char** a) { pid_t p; "
+     "return posix_spawnp(&p, a[0], nullptr, nullptr, a, nullptr); }\n",
+     "subprocess"},
+    {"subprocess allowlisted in supervisor", "src/scenario/ok_spawn.cc",
+     "#include <spawn.h>\n"
+     "int f(char** a) {\n"
+     "  pid_t p;\n"
+     "  // manet-lint: allow(subprocess): supervised cell isolation\n"
+     "  return posix_spawnp(&p, a[0], nullptr, nullptr, a, nullptr);\n"
+     "}\n",
+     nullptr},
+    {"subprocess fine in tests", "tests/integration/ok_sys.cc",
+     "#include <cstdlib>\nint f() { return std::system(\"./bin\"); }\n",
+     nullptr},
+    {"subprocess fine in tools", "tools/manet_ctl/ok_sys.cc",
+     "#include <cstdlib>\nint f() { return std::system(\"./bin\"); }\n",
+     nullptr},
     {"comment mention clean", "src/core/ok_comment.cc",
      "// rand() and steady_clock are banned here; see DESIGN.md\nint x;\n",
      nullptr},
@@ -804,6 +835,13 @@ std::vector<Finding> lintSource(const std::string& relPath,
                          std::regex(R"(#\s*include\s*<iostream>)"),
                          "<iostream> in library code; use util::log or "
                          "return data to the caller"});
+    lineRules.push_back(
+        {"subprocess",
+         std::regex(R"(\b(fork|vfork|execve?|execvp?e?|execlp?e?|)"
+                    R"(posix_spawnp?|popen)\s*\(|\bsystem\s*\()"),
+         "process creation in library code; route it through the supervised "
+         "cell-isolation layer (src/scenario/supervisor.cc) or move it to "
+         "tools//tests//bench/"});
   }
   applyLineRules(lineRules, codeLines, allows, relPath, &out);
 
