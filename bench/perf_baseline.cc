@@ -113,7 +113,12 @@ std::vector<NamedScenario> canonicalScenarios(bool quick) {
   return out;
 }
 
-prof::BenchScenario measure(const NamedScenario& ns, int reps) {
+// Hot nodes worth listing per scenario: enough to see the spatial pattern,
+// few enough that BENCH files stay reviewable in a diff.
+constexpr std::size_t kTopNodes = 10;
+
+prof::BenchScenario measure(const NamedScenario& ns, int reps,
+                            std::string* heatmapOut) {
   prof::BenchScenario out;
   out.name = ns.name;
   out.repetitions = reps;
@@ -166,6 +171,51 @@ prof::BenchScenario measure(const NamedScenario& ns, int reps) {
     out.categorySelfSeconds.emplace_back(
         prof::toString(cat.category),
         static_cast<double>(cat.selfNs) * 1e-9);
+  }
+
+  // Schema v2: hotspot observability from the median repetition. Top nodes
+  // rank by deterministic activation count (node id breaks ties) so the
+  // list is identical across same-seed runs; selfSeconds rides along as
+  // informational wall time.
+  out.hasHotspot = med.profile.enabled;
+  if (out.hasHotspot) {
+    const prof::HotspotReport& h = med.profile.hotspot;
+    std::vector<const prof::EntityReport*> ranked;
+    ranked.reserve(h.entities.size());
+    for (const prof::EntityReport& e : h.entities) ranked.push_back(&e);
+    std::sort(ranked.begin(), ranked.end(),
+              [](const prof::EntityReport* a, const prof::EntityReport* b) {
+                if (a->activations != b->activations) {
+                  return a->activations > b->activations;
+                }
+                return a->node < b->node;
+              });
+    if (ranked.size() > kTopNodes) ranked.resize(kTopNodes);
+    for (const prof::EntityReport* e : ranked) {
+      prof::BenchTopNode tn;
+      tn.node = e->node;
+      if (e->node < med.nodePositions.size()) {
+        tn.x = med.nodePositions[e->node].x;
+        tn.y = med.nodePositions[e->node].y;
+      }
+      tn.activations = e->activations;
+      tn.framesHeard = e->framesHeard;
+      tn.selfSeconds = static_cast<double>(e->selfNs) * 1e-9;
+      out.topNodes.push_back(tn);
+    }
+    out.fanout = h.fanout;
+    out.queue = h.queue;
+    out.alloc = h.alloc;
+    if (heatmapOut != nullptr) {
+      std::string csv = telemetry::heatmapCsv(med, ns.name);
+      if (!csv.empty()) {
+        if (!heatmapOut->empty()) {
+          // Strip the repeated header: one header line for the whole file.
+          csv.erase(0, csv.find('\n') + 1);
+        }
+        *heatmapOut += csv;
+      }
+    }
   }
   return out;
 }
@@ -232,6 +282,7 @@ int runSelfTest() {
   cand.label = "selftest_cand";
   cand.scenarios[0].wallSecondsMedian = 2.0 * 1.25;  // alpha: regressed
   cand.scenarios[1].wallSecondsMedian = 2.0 * 1.10;  // beta: within budget
+  cand.scenarios[0].categorySelfSeconds[0].second = 1.3;  // mac got slower
 
   std::string err;
   const auto reBase = prof::parseBenchReport(prof::toJson(base), &err);
@@ -244,12 +295,22 @@ int runSelfTest() {
 
   const prof::BenchComparison cmp =
       prof::compareBenchReports(*reBase, *reCand, 0.2);
-  std::fputs(prof::formatComparison(cmp).c_str(), stdout);
+  const std::string table = prof::formatComparison(cmp);
+  std::fputs(table.c_str(), stdout);
   if (!cmp.regressed || cmp.rows.size() != 2 || !cmp.rows[0].regressed ||
       cmp.rows[1].regressed) {
     std::fprintf(stderr,
                  "self-test FAILED: 25%% slowdown not flagged (or 10%% "
                  "falsely flagged) at 20%% threshold\n");
+    return 1;
+  }
+  // The failure message must name the worst-moving category with both of
+  // its values, not just the scenario.
+  if (cmp.rows[0].worstCategory != "mac" ||
+      table.find("worst category: mac") == std::string::npos) {
+    std::fprintf(stderr,
+                 "self-test FAILED: regression detail does not name the "
+                 "worst-moving category\n");
     return 1;
   }
   std::puts("self-test passed: regression detector behaves as specified");
@@ -320,6 +381,7 @@ int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--quick] [--reps N] [--label L] [--out FILE]\n"
+      "          [--heatmap FILE]\n"
       "       %s --compare BASELINE CANDIDATE [--threshold T] "
       "[--report-only]\n"
       "       %s --sweep-speedup [--jobs N]\n"
@@ -337,6 +399,7 @@ int main(int argc, char** argv) {
   double threshold = 0.2;
   std::string label = "local";
   std::string outPath;
+  std::string heatmapPath;
   std::string comparePaths[2];
   int compareCount = -1;
   bool selfTest = false;
@@ -353,6 +416,8 @@ int main(int argc, char** argv) {
       label = argv[++i];
     } else if (arg == "--out" && i + 1 < argc) {
       outPath = argv[++i];
+    } else if (arg == "--heatmap" && i + 1 < argc) {
+      heatmapPath = argv[++i];
     } else if (arg == "--compare" && i + 2 < argc) {
       comparePaths[0] = argv[++i];
       comparePaths[1] = argv[++i];
@@ -385,14 +450,20 @@ int main(int argc, char** argv) {
   const std::vector<NamedScenario> scenarios = canonicalScenarios(quick);
   std::fprintf(stderr, "perf_baseline: %zu scenarios x %d reps (%s)\n",
                scenarios.size(), reps, quick ? "quick" : "full");
+  std::string heatmap;
   for (const NamedScenario& ns : scenarios) {
-    report.scenarios.push_back(measure(ns, reps));
+    report.scenarios.push_back(
+        measure(ns, reps, heatmapPath.empty() ? nullptr : &heatmap));
   }
 
   const std::string json = prof::toJson(report);
   if (outPath.empty()) outPath = "BENCH_" + label + ".json";
   if (!telemetry::writeFile(outPath, json)) return 2;
   std::fprintf(stderr, "wrote %s\n", outPath.c_str());
+  if (!heatmapPath.empty()) {
+    if (!telemetry::writeFile(heatmapPath, heatmap)) return 2;
+    std::fprintf(stderr, "wrote %s\n", heatmapPath.c_str());
+  }
 
   // Console summary.
   for (const prof::BenchScenario& s : report.scenarios) {

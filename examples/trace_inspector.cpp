@@ -150,6 +150,41 @@ int inspectBench(const std::string& path) {
                     total > 0.0 ? 100.0 * secs / total : 0.0);
       }
     }
+    // Schema v2 only; v1 reports (BENCH_seed.json) simply skip this block.
+    if (s.hasHotspot) {
+      std::printf("  hottest nodes (activations / frames heard @ x,y):\n");
+      const std::size_t shown = std::min<std::size_t>(s.topNodes.size(), 5);
+      for (std::size_t i = 0; i < shown; ++i) {
+        const prof::BenchTopNode& t = s.topNodes[i];
+        std::printf("    node %3u: %8llu / %6llu @ (%.0f, %.0f)\n", t.node,
+                    static_cast<unsigned long long>(t.activations),
+                    static_cast<unsigned long long>(t.framesHeard), t.x,
+                    t.y);
+      }
+      std::printf("  fan-out: %llu tx, %.1f%% of examined radios in range, "
+                  "p50/p90/p99 %.1f/%.1f/%.1f\n",
+                  static_cast<unsigned long long>(s.fanout.transmissions),
+                  s.fanout.radiosExamined > 0
+                      ? 100.0 *
+                            static_cast<double>(s.fanout.radiosInRange) /
+                            static_cast<double>(s.fanout.radiosExamined)
+                      : 0.0,
+                  s.fanout.p50, s.fanout.p90, s.fanout.p99);
+      std::printf("  queue: depth peak %llu mean %.1f, horizon p50 %.0f ns "
+                  "p99 %.0f ns\n",
+                  static_cast<unsigned long long>(s.queue.depthPeak),
+                  s.queue.depthMean, s.queue.horizonP50Ns,
+                  s.queue.horizonP99Ns);
+      std::printf("  allocations:");
+      for (std::size_t i = 0; i < prof::kNumAllocSites; ++i) {
+        std::printf(" %s=%llu",
+                    prof::toString(static_cast<prof::AllocSite>(i)),
+                    static_cast<unsigned long long>(s.alloc[i].count));
+      }
+      std::printf("   (full histograms: tools/manet_prof)\n");
+    } else {
+      std::printf("  (schema v1: no hotspot section)\n");
+    }
     std::printf("\n");
   }
   return 0;

@@ -70,7 +70,7 @@ class Network {
 
   Vec2 positionOf(NodeId id, sim::Time t) const {
     // Oracle-driven position queries are mobility work, wherever they run.
-    prof::Scope profScope(sched_.profiler(), prof::Category::kMobility);
+    prof::Scope profScope(sched_.profiler(), prof::Category::kMobility, id);
     return nodes_.at(id)->mobility().positionAt(t);
   }
 

@@ -16,8 +16,11 @@ sim::Time Channel::transmit(Radio& sender, const mac::Frame& f) {
   prune();
   active_.push_back(ActiveTx{&sender, pos, end});
 
+  std::uint32_t examined = 0;
+  std::uint32_t inRange = 0;
   for (Radio* r : radios_) {
     if (r == &sender) continue;
+    ++examined;
     // In-range test uses positions at transmission start. Frames last
     // microseconds; node movement within a frame is negligible (< 1 mm at
     // 20 m/s).
@@ -26,6 +29,7 @@ sim::Time Channel::transmit(Radio& sender, const mac::Frame& f) {
     if (!blackouts_.empty() && linkBlocked(sender.id(), r->id(), now)) {
       continue;
     }
+    ++inRange;
     sched_.scheduleAt(
         now + cfg_.propagationDelay, [r, txId, d] { r->rxStart(txId, d); },
         prof::Category::kPhy);
@@ -34,6 +38,9 @@ sim::Time Channel::transmit(Radio& sender, const mac::Frame& f) {
         end + cfg_.propagationDelay, [r, txId, f] { r->rxEnd(txId, f); },
         prof::Category::kPhy);
   }
+  // Fan-out tally: how many radios this broadcast had to examine versus how
+  // many could actually hear it — the O(N) waste a spatial index reclaims.
+  if (prof::Profiler* p = sched_.profiler()) p->recordFanout(examined, inRange);
   return end;
 }
 

@@ -10,15 +10,39 @@
 // schema_version gates incompatible rewrites).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "src/prof/profiler.h"
+
 namespace manet::prof {
 
-inline constexpr int kBenchSchemaVersion = 1;
+/// Version written by this build. Schema history:
+///   v1  wall medians, events, category self-seconds (BENCH_seed.json).
+///   v2  adds the per-scenario "hotspot" section: top-K nodes with spatial
+///       coordinates, channel fan-out, event-queue horizon/depth analytics
+///       and allocation-site counters.
+/// parseBenchReport accepts both; v1 reports simply carry no hotspot data
+/// (hasHotspot == false), so --compare against BENCH_seed.json keeps
+/// working.
+inline constexpr int kBenchSchemaVersion = 2;
+inline constexpr int kBenchMinSchemaVersion = 1;
+
+/// One of the K hottest nodes of a scenario, ranked by deterministic
+/// activation count (ties broken by node id) so the ranking — unlike the
+/// informational selfSeconds — is identical across same-seed runs.
+struct BenchTopNode {
+  std::uint32_t node = 0;
+  double x = 0.0;  // end-of-run position (spatial heatmap coordinates)
+  double y = 0.0;
+  std::uint64_t activations = 0;
+  std::uint64_t framesHeard = 0;
+  double selfSeconds = 0.0;  // wall time: informational, excluded from diff
+};
 
 /// One benchmark scenario's measured profile (median across repetitions).
 struct BenchScenario {
@@ -33,6 +57,13 @@ struct BenchScenario {
   /// Per-category exclusive wall time (seconds) from the median repetition,
   /// category name -> seconds; categories with no activity are omitted.
   std::vector<std::pair<std::string, double>> categorySelfSeconds;
+  /// Schema v2: hotspot observability from the median repetition. False for
+  /// v1 reports and for runs without profiling.
+  bool hasHotspot = false;
+  std::vector<BenchTopNode> topNodes;
+  FanoutReport fanout;
+  QueueReport queue;
+  std::array<AllocSiteStats, kNumAllocSites> alloc{};
 };
 
 struct BenchReport {
@@ -60,6 +91,12 @@ struct BenchComparisonRow {
   double baselineEventsPerSec = 0.0;
   double candidateEventsPerSec = 0.0;
   bool regressed = false;
+  /// Category with the largest self-seconds increase (empty when neither
+  /// report carries category data); printed when the row regresses so the
+  /// failure names the metric that moved, not just the scenario.
+  std::string worstCategory;
+  double worstCategoryBaseSec = 0.0;
+  double worstCategoryCandSec = 0.0;
 };
 
 struct BenchComparison {
@@ -79,6 +116,17 @@ BenchComparison compareBenchReports(const BenchReport& baseline,
                                     double threshold);
 
 /// Human-readable comparison table (one line per scenario plus a verdict).
+/// Regressed rows get a detail line naming the scenario, both wall times,
+/// and the worst-moving category with both of its values.
 std::string formatComparison(const BenchComparison& c);
+
+/// Deterministic-field diff for `manet_prof --diff`: compares only fields
+/// that are pure functions of the simulation (events, queue peaks, top-node
+/// activations / frames heard / positions, fan-out and horizon counts,
+/// allocation tallies) and ignores every wall-time-derived value. Two runs
+/// of the same seed therefore diff to zero lines; any line signals a real
+/// behavioural divergence, not timing noise.
+std::vector<std::string> diffBenchReports(const BenchReport& a,
+                                          const BenchReport& b);
 
 }  // namespace manet::prof

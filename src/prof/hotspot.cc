@@ -1,0 +1,22 @@
+#include "src/prof/hotspot.h"
+
+namespace manet::prof {
+
+const char* toString(AllocSite s) {
+  switch (s) {
+    case AllocSite::kPacket: return "packet";
+    case AllocSite::kEvent: return "event";
+    case AllocSite::kTraceRecord: return "trace_record";
+  }
+  return "?";
+}
+
+// One tracker slot per thread so parallel sweep workers (one scenario and
+// profiler per thread) tally independently; the owning Profiler installs and
+// uninstalls it, and a null slot makes every record path a no-op.
+// manet-lint: allow(shared-mutable): thread-local profiler hook, installed
+// per run; tallies are observational only and never feed back into
+// simulation decisions.
+thread_local AllocTracker* AllocTracker::t_current = nullptr;
+
+}  // namespace manet::prof

@@ -13,6 +13,13 @@ EventId Scheduler::scheduleAt(Time at, std::function<void()> fn,
   if (queue_.size() > queuePeak_) queuePeak_ = queue_.size();
   states_.push_back(EvState::kPending);
   assert(baseId_ + states_.size() == nextId_);
+  // Hotspot observability: event horizon (how far ahead of now the event
+  // fires — the calendar-queue design input) and the event allocation
+  // tally. Pure counters driven by simulation state; no wall-clock reads.
+  if (prof_ != nullptr) {
+    prof_->recordHorizon((at - now_).ns());
+    prof_->allocRecord(prof::AllocSite::kEvent);
+  }
   return id;
 }
 
@@ -47,6 +54,7 @@ void Scheduler::runUntil(Time until) {
     if (*stateOf(id) == EvState::kCancelled) {
       queue_.pop();
       retire(id);
+      if (prof_ != nullptr) prof_->allocRelease(prof::AllocSite::kEvent);
       continue;
     }
     // Move the handler out before popping so it may schedule/cancel freely.
@@ -63,11 +71,14 @@ void Scheduler::runUntil(Time until) {
     const std::uint64_t w0 =
         capture && prof_ != nullptr ? prof_->clockNs() : 0;
     if (prof_ != nullptr) {
+      prof_->allocRelease(prof::AllocSite::kEvent);
       {
         prof::Scope scope(prof_, cat);  // inert unless collecting
         prof_->countDispatch(cat);
         fn();
       }
+      // Depth after the handler ran: counts whatever it just scheduled.
+      prof_->noteQueueDepth(now_.ns(), queue_.size());
       prof_->heartbeat(now_.ns(), until.ns(), executed_);
     } else {
       fn();

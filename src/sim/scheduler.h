@@ -85,6 +85,10 @@ class Scheduler {
   void setProfiler(prof::Profiler* p) { prof_ = p; }
   prof::Profiler* profiler() const { return prof_; }
 
+  /// Heap-entry footprint for the event allocation-site tally (the Entry
+  /// type itself is private; arenas from ROADMAP item 1 will size off this).
+  static constexpr std::size_t eventEntryBytes() { return sizeof(Entry); }
+
   /// Keep the most recent `capacity` dispatch spans (0 disables). Purely
   /// observational: the buffer is bounded, reads only the profiler's wall
   /// clock, and nothing in the simulation ever consumes it, so capturing

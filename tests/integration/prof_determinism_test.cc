@@ -5,8 +5,10 @@
 // simulation RNG stream, never a mutating accessor).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
+#include <string>
 
 #include "src/scenario/scenario.h"
 #include "src/telemetry/export.h"
@@ -133,6 +135,76 @@ TEST(ProfDeterminismTest, GaugePeaksArePopulated) {
   EXPECT_GT(r.profile.gaugePeaks[static_cast<std::size_t>(
                 prof::Gauge::kRouteCacheEntries)],
             0u);
+}
+
+// The hotspot layer's own determinism contract: every non-wall-time field
+// is a pure function of the simulation, so two same-seed profiled runs
+// must agree exactly — the property `manet_prof --diff` builds on.
+TEST(ProfDeterminismTest, HotspotFieldsIdenticalAcrossSameSeedRuns) {
+  ScenarioConfig c = cfg();
+  c.prof.enabled = true;
+  const RunResult a = runScenario(c);
+  const RunResult b = runScenario(c);
+  ASSERT_TRUE(a.profile.enabled);
+  const prof::HotspotReport& ha = a.profile.hotspot;
+  const prof::HotspotReport& hb = b.profile.hotspot;
+
+  ASSERT_EQ(ha.entities.size(), hb.entities.size());
+  for (std::size_t i = 0; i < ha.entities.size(); ++i) {
+    EXPECT_EQ(ha.entities[i].node, hb.entities[i].node);
+    EXPECT_EQ(ha.entities[i].activations, hb.entities[i].activations);
+    EXPECT_EQ(ha.entities[i].framesHeard, hb.entities[i].framesHeard);
+  }
+  EXPECT_EQ(ha.fanout.transmissions, hb.fanout.transmissions);
+  EXPECT_EQ(ha.fanout.radiosExamined, hb.fanout.radiosExamined);
+  EXPECT_EQ(ha.fanout.radiosInRange, hb.fanout.radiosInRange);
+  EXPECT_EQ(ha.fanout.maxInRange, hb.fanout.maxInRange);
+  EXPECT_EQ(ha.queue.scheduled, hb.queue.scheduled);
+  EXPECT_EQ(ha.queue.zeroHorizon, hb.queue.zeroHorizon);
+  EXPECT_EQ(ha.queue.maxHorizonNs, hb.queue.maxHorizonNs);
+  EXPECT_EQ(ha.queue.depthPeak, hb.queue.depthPeak);
+  ASSERT_EQ(ha.queue.depthSamples.size(), hb.queue.depthSamples.size());
+  for (std::size_t i = 0; i < ha.queue.depthSamples.size(); ++i) {
+    EXPECT_EQ(ha.queue.depthSamples[i].simNs,
+              hb.queue.depthSamples[i].simNs);
+    EXPECT_EQ(ha.queue.depthSamples[i].depth,
+              hb.queue.depthSamples[i].depth);
+  }
+  for (std::size_t i = 0; i < prof::kNumAllocSites; ++i) {
+    EXPECT_EQ(ha.alloc[i].count, hb.alloc[i].count) << "site " << i;
+    EXPECT_EQ(ha.alloc[i].bytes, hb.alloc[i].bytes) << "site " << i;
+    EXPECT_EQ(ha.alloc[i].live, hb.alloc[i].live) << "site " << i;
+    EXPECT_EQ(ha.alloc[i].highWater, hb.alloc[i].highWater) << "site " << i;
+  }
+  // Positions come from the deterministic mobility model.
+  ASSERT_EQ(a.nodePositions.size(), b.nodePositions.size());
+  for (std::size_t i = 0; i < a.nodePositions.size(); ++i) {
+    EXPECT_EQ(a.nodePositions[i].x, b.nodePositions[i].x);
+    EXPECT_EQ(a.nodePositions[i].y, b.nodePositions[i].y);
+  }
+
+  // And the hotspot layer saw real traffic in this scenario.
+  EXPECT_GT(ha.fanout.transmissions, 0u);
+  EXPECT_GT(ha.queue.scheduled, 0u);
+  EXPECT_GT(ha.alloc[static_cast<std::size_t>(prof::AllocSite::kPacket)]
+                .count,
+            0u);
+  EXPECT_GT(ha.alloc[static_cast<std::size_t>(prof::AllocSite::kEvent)]
+                .count,
+            0u);
+  EXPECT_FALSE(ha.entities.empty());
+
+  // Spatial heatmap export: one header plus one row per active entity,
+  // prefixed with the scenario name.
+  const std::string csv = telemetry::heatmapCsv(a, "det_check");
+  ASSERT_FALSE(csv.empty());
+  EXPECT_EQ(csv.rfind("scenario,node,x,y,activations", 0), 0u);
+  const std::size_t rows =
+      static_cast<std::size_t>(std::count(csv.begin(), csv.end(), '\n'));
+  EXPECT_EQ(rows, ha.entities.size() + 1);
+  EXPECT_NE(csv.find("\ndet_check,"), std::string::npos);
+  // Profiling off => no heatmap.
+  EXPECT_TRUE(telemetry::heatmapCsv(runScenario(cfg()), "x").empty());
 }
 
 }  // namespace

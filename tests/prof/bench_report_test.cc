@@ -122,6 +122,154 @@ TEST(BenchCompareTest, ReportsMissingScenarios) {
   EXPECT_FALSE(cmp.regressed);
 }
 
+// ------------------------------------------------- schema v2: hotspot
+
+BenchScenario hotspotScenario() {
+  BenchScenario s;
+  s.name = "with_hotspot";
+  s.repetitions = 3;
+  s.events = 5000;
+  s.wallSecondsMedian = 0.5;
+  s.schedQueuePeak = 64;
+  s.hasHotspot = true;
+  s.topNodes.push_back({4, 120.5, 80.25, 900, 210, 0.01});
+  s.topNodes.push_back({1, 30.0, 45.0, 700, 180, 0.008});
+  s.fanout.transmissions = 200;
+  s.fanout.radiosExamined = 4000;
+  s.fanout.radiosInRange = 1200;
+  s.fanout.maxInRange = 9;
+  s.fanout.p50 = 6.0;
+  s.fanout.p90 = 8.0;
+  s.fanout.p99 = 8.9;
+  s.fanout.buckets.push_back({4, 8, 150});
+  s.fanout.buckets.push_back({8, 16, 50});
+  s.queue.scheduled = 5100;
+  s.queue.zeroHorizon = 3;
+  s.queue.maxHorizonNs = 900000;
+  s.queue.horizonP50Ns = 1000.0;
+  s.queue.horizonP90Ns = 50000.0;
+  s.queue.horizonP99Ns = 800000.0;
+  s.queue.horizonBuckets.push_back({0, 1024, 5000});
+  s.queue.horizonBuckets.push_back({1024, 2048, 100});
+  s.queue.depthPeak = 64;
+  s.queue.depthMean = 31.5;
+  s.queue.depthSamples.push_back({64000, 20});
+  s.queue.depthSamples.push_back({128000, 40});
+  s.alloc[0] = {500, 128000, 0, 30};
+  s.alloc[1] = {5100, 326400, 0, 64};
+  s.alloc[2] = {1000, 96000, 1000, 1000};
+  return s;
+}
+
+TEST(BenchReportV2Test, HotspotRoundTrip) {
+  BenchReport orig;
+  orig.label = "v2";
+  orig.scenarios.push_back(hotspotScenario());
+  std::string err;
+  const auto parsed = parseBenchReport(toJson(orig), &err);
+  ASSERT_TRUE(parsed.has_value()) << err;
+  ASSERT_EQ(parsed->scenarios.size(), 1u);
+  const BenchScenario& s = parsed->scenarios[0];
+  ASSERT_TRUE(s.hasHotspot);
+  ASSERT_EQ(s.topNodes.size(), 2u);
+  EXPECT_EQ(s.topNodes[0].node, 4u);
+  EXPECT_DOUBLE_EQ(s.topNodes[0].x, 120.5);
+  EXPECT_DOUBLE_EQ(s.topNodes[0].y, 80.25);
+  EXPECT_EQ(s.topNodes[0].activations, 900u);
+  EXPECT_EQ(s.topNodes[0].framesHeard, 210u);
+  EXPECT_DOUBLE_EQ(s.topNodes[0].selfSeconds, 0.01);
+  EXPECT_EQ(s.fanout.transmissions, 200u);
+  ASSERT_EQ(s.fanout.buckets.size(), 2u);
+  EXPECT_EQ(s.fanout.buckets[1].low, 8u);
+  EXPECT_EQ(s.fanout.buckets[1].count, 50u);
+  EXPECT_EQ(s.queue.scheduled, 5100u);
+  EXPECT_EQ(s.queue.zeroHorizon, 3u);
+  ASSERT_EQ(s.queue.depthSamples.size(), 2u);
+  EXPECT_EQ(s.queue.depthSamples[1].simNs, 128000);
+  EXPECT_EQ(s.queue.depthSamples[1].depth, 40u);
+  EXPECT_EQ(s.alloc[2].count, 1000u);
+  EXPECT_EQ(s.alloc[2].highWater, 1000u);
+  // A full round-trip preserves every deterministic field exactly.
+  EXPECT_TRUE(diffBenchReports(orig, *parsed).empty());
+}
+
+TEST(BenchReportV2Test, AcceptsV1Document) {
+  // A v1 report (the committed BENCH_seed.json shape) has no hotspot key
+  // and schema_version 1; it must parse with hasHotspot == false.
+  const char* v1 =
+      "{\"schema_version\":1,\"label\":\"seed\",\"scenarios\":["
+      "{\"name\":\"paper_baseline\",\"repetitions\":3,\"events\":100,"
+      "\"wall_seconds_median\":0.5,\"events_per_sec_median\":200.0,"
+      "\"wall_seconds_all\":[0.5,0.5,0.6],\"peak_rss_bytes\":1000,"
+      "\"sched_queue_peak\":10,\"category_self_seconds\":{\"mac\":0.1}}]}";
+  std::string err;
+  const auto parsed = parseBenchReport(v1, &err);
+  ASSERT_TRUE(parsed.has_value()) << err;
+  EXPECT_EQ(parsed->schemaVersion, 1);
+  ASSERT_EQ(parsed->scenarios.size(), 1u);
+  EXPECT_FALSE(parsed->scenarios[0].hasHotspot);
+  EXPECT_TRUE(parsed->scenarios[0].topNodes.empty());
+  // And compare must still work against it (the backward-compat contract).
+  const BenchComparison cmp = compareBenchReports(*parsed, *parsed, 0.2);
+  EXPECT_FALSE(cmp.regressed);
+}
+
+TEST(BenchReportV2Test, CompareNamesWorstCategory) {
+  const BenchReport base = sampleReport();
+  BenchReport cand = sampleReport();
+  cand.scenarios[0].wallSecondsMedian *= 2.0;
+  cand.scenarios[0].categorySelfSeconds[1].second = 0.9;  // phy: 0.3 -> 0.9
+  const BenchComparison cmp = compareBenchReports(base, cand, 0.2);
+  ASSERT_TRUE(cmp.rows[0].regressed);
+  EXPECT_EQ(cmp.rows[0].worstCategory, "phy");
+  EXPECT_DOUBLE_EQ(cmp.rows[0].worstCategoryBaseSec, 0.3);
+  EXPECT_DOUBLE_EQ(cmp.rows[0].worstCategoryCandSec, 0.9);
+  const std::string text = formatComparison(cmp);
+  EXPECT_NE(text.find("worst category: phy"), std::string::npos);
+  EXPECT_NE(text.find("0.300000"), std::string::npos);
+  EXPECT_NE(text.find("0.900000"), std::string::npos);
+}
+
+TEST(BenchDiffTest, IgnoresVolatileFlagsDeterministic) {
+  BenchReport a;
+  a.label = "a";
+  a.scenarios.push_back(hotspotScenario());
+  BenchReport b = a;
+  // Volatile-only changes: invisible to the deterministic diff.
+  b.label = "b";
+  b.scenarios[0].wallSecondsMedian *= 3.0;
+  b.scenarios[0].eventsPerSecMedian *= 3.0;
+  b.scenarios[0].peakRssBytes += 12345;
+  b.scenarios[0].topNodes[0].selfSeconds *= 5.0;
+  EXPECT_TRUE(diffBenchReports(a, b).empty());
+
+  // Each deterministic perturbation surfaces at least one delta.
+  BenchReport c = a;
+  c.scenarios[0].events += 1;
+  EXPECT_FALSE(diffBenchReports(a, c).empty());
+  c = a;
+  c.scenarios[0].topNodes[0].activations += 1;
+  EXPECT_FALSE(diffBenchReports(a, c).empty());
+  c = a;
+  c.scenarios[0].fanout.radiosInRange += 1;
+  EXPECT_FALSE(diffBenchReports(a, c).empty());
+  c = a;
+  c.scenarios[0].queue.depthSamples[0].depth += 1;
+  EXPECT_FALSE(diffBenchReports(a, c).empty());
+  c = a;
+  c.scenarios[0].alloc[1].highWater += 1;
+  EXPECT_FALSE(diffBenchReports(a, c).empty());
+}
+
+TEST(BenchDiffTest, ReportsScenarioSetMismatch) {
+  BenchReport a;
+  a.scenarios.push_back(hotspotScenario());
+  BenchReport b;  // empty
+  const std::vector<std::string> deltas = diffBenchReports(a, b);
+  ASSERT_FALSE(deltas.empty());
+  EXPECT_NE(deltas[0].find("with_hotspot"), std::string::npos);
+}
+
 TEST(BenchCompareTest, FormatMentionsVerdicts) {
   const BenchReport base = sampleReport();
   BenchReport cand = sampleReport();

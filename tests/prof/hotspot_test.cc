@@ -1,0 +1,296 @@
+// Hotspot-layer unit tests: histogram percentile edge cases, the
+// allocation tracker (exact live / high-water bookkeeping via AllocToken),
+// per-entity attribution with an injected wall clock, channel fan-out and
+// event-queue analytics — and the zero-overhead-when-off contract: a
+// disabled profiler records nothing through any hotspot path.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "src/prof/profiler.h"
+
+namespace manet::prof {
+namespace {
+
+// ------------------------------------------- histogram percentile edges
+
+TEST(HotspotHistogramTest, EmptyPercentilesAreZero) {
+  LatencyHistogram h;
+  EXPECT_DOUBLE_EQ(h.percentileNs(50), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentileNs(90), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentileNs(99), 0.0);
+}
+
+TEST(HotspotHistogramTest, SingleSampleEveryPercentile) {
+  LatencyHistogram h;
+  h.record(7);
+  // With one sample, every percentile must land in its bucket (values 4..7
+  // share the [7, 8) sub-bucket boundary behaviour: low <= p < high).
+  const int b = LatencyHistogram::bucketIndex(7);
+  for (double p : {0.1, 50.0, 90.0, 99.0, 100.0}) {
+    const double v = h.percentileNs(p);
+    EXPECT_GE(v, static_cast<double>(LatencyHistogram::bucketLowNs(b)))
+        << "p" << p;
+    EXPECT_LE(v, static_cast<double>(LatencyHistogram::bucketHighNs(b)))
+        << "p" << p;
+  }
+}
+
+TEST(HotspotHistogramTest, AllSamplesInTopBucket) {
+  // The top bucket's exclusive bound is unrepresentable and saturates at
+  // uint64 max; percentiles over a distribution living entirely there must
+  // stay inside the bucket and not overflow.
+  LatencyHistogram h;
+  for (int i = 0; i < 10; ++i) h.record(~0ull);
+  const int top = LatencyHistogram::bucketIndex(~0ull);
+  EXPECT_EQ(h.bucketCount(top), 10u);
+  EXPECT_EQ(h.maxNs(), ~0ull);
+  for (double p : {50.0, 90.0, 99.0}) {
+    const double v = h.percentileNs(p);
+    EXPECT_GE(v, static_cast<double>(LatencyHistogram::bucketLowNs(top)));
+    EXPECT_LE(v, static_cast<double>(LatencyHistogram::bucketHighNs(top)));
+  }
+}
+
+TEST(HotspotHistogramTest, PercentilesMonotonicInP) {
+  // p50 <= p90 <= p99 must hold for any recorded distribution; sweep a
+  // few shapes (uniform, bimodal, heavy-tail).
+  const auto check = [](const LatencyHistogram& h, const char* what) {
+    double last = 0.0;
+    for (double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0}) {
+      const double v = h.percentileNs(p);
+      EXPECT_GE(v, last) << what << " at p" << p;
+      last = v;
+    }
+  };
+  LatencyHistogram uniform;
+  for (std::uint64_t v = 0; v < 1000; ++v) uniform.record(v);
+  check(uniform, "uniform");
+  LatencyHistogram bimodal;
+  for (int i = 0; i < 500; ++i) bimodal.record(10);
+  for (int i = 0; i < 500; ++i) bimodal.record(1000000);
+  check(bimodal, "bimodal");
+  LatencyHistogram tail;
+  for (int i = 0; i < 990; ++i) tail.record(50);
+  for (int i = 0; i < 10; ++i) tail.record(1ull << 40);
+  check(tail, "heavy-tail");
+}
+
+// -------------------------------------------------------- alloc tracker
+
+TEST(AllocTrackerTest, CountsBytesLiveHighWater) {
+  AllocTracker t;
+  t.setUnitBytes(AllocSite::kPacket, 100);
+  t.recordAlloc(AllocSite::kPacket);
+  t.recordAlloc(AllocSite::kPacket, 28);  // variable-size tail
+  const AllocSiteStats& s = t.site(AllocSite::kPacket);
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_EQ(s.bytes, 228u);
+  EXPECT_EQ(s.live, 2u);
+  EXPECT_EQ(s.highWater, 2u);
+  t.releaseAlloc(AllocSite::kPacket);
+  EXPECT_EQ(t.site(AllocSite::kPacket).live, 1u);
+  EXPECT_EQ(t.site(AllocSite::kPacket).highWater, 2u);  // peak sticks
+  t.recordAlloc(AllocSite::kPacket);
+  t.recordAlloc(AllocSite::kPacket);
+  EXPECT_EQ(t.site(AllocSite::kPacket).live, 3u);
+  EXPECT_EQ(t.site(AllocSite::kPacket).highWater, 3u);
+}
+
+TEST(AllocTrackerTest, ReleaseSaturatesAtZero) {
+  // Objects constructed before the tracker was installed release through
+  // it on destruction; live must not wrap to 2^64-1.
+  AllocTracker t;
+  t.releaseAlloc(AllocSite::kEvent);
+  EXPECT_EQ(t.site(AllocSite::kEvent).live, 0u);
+}
+
+TEST(AllocTrackerTest, InstallUninstallIf) {
+  AllocTracker a, b;
+  AllocTracker::install(&a);
+  EXPECT_EQ(AllocTracker::current(), &a);
+  // Uninstalling a tracker that is not current is a no-op (a nested
+  // profiler must not clear its outer sibling's slot).
+  AllocTracker::uninstallIf(&b);
+  EXPECT_EQ(AllocTracker::current(), &a);
+  AllocTracker::uninstallIf(&a);
+  EXPECT_EQ(AllocTracker::current(), nullptr);
+}
+
+TEST(AllocTrackerTest, TokenTracksLifetimeIncludingCopies) {
+  AllocTracker t;
+  t.setUnitBytes(AllocSite::kPacket, 64);
+  AllocTracker::install(&t);
+  {
+    AllocToken tok(AllocSite::kPacket);
+    EXPECT_EQ(t.site(AllocSite::kPacket).live, 1u);
+    {
+      AllocToken copy(tok);  // clone records its own allocation
+      EXPECT_EQ(t.site(AllocSite::kPacket).live, 2u);
+      EXPECT_EQ(t.site(AllocSite::kPacket).highWater, 2u);
+    }
+    EXPECT_EQ(t.site(AllocSite::kPacket).live, 1u);
+  }
+  AllocTracker::uninstallIf(&t);
+  EXPECT_EQ(t.site(AllocSite::kPacket).count, 2u);
+  EXPECT_EQ(t.site(AllocSite::kPacket).bytes, 128u);
+  EXPECT_EQ(t.site(AllocSite::kPacket).live, 0u);
+  EXPECT_EQ(t.site(AllocSite::kPacket).highWater, 2u);
+}
+
+TEST(AllocTrackerTest, TokenNoopWithoutTracker) {
+  AllocTracker::uninstallIf(AllocTracker::current());  // ensure empty slot
+  AllocToken tok(AllocSite::kPacket);  // must not crash
+  AllocToken copy(tok);
+  (void)copy;
+}
+
+// --------------------------------------------------- profiler hotspot
+
+std::uint64_t g_fakeNow = 0;
+std::uint64_t fakeClock() { return g_fakeNow; }
+
+ProfConfig enabledCfg() {
+  ProfConfig cfg;
+  cfg.enabled = true;
+  return cfg;
+}
+
+TEST(HotspotProfilerTest, EntityAttributionExact) {
+  Profiler p(enabledCfg(), &fakeClock);
+  p.ensureEntities(4);
+  g_fakeNow = 100;
+  {
+    Scope s(&p, Category::kMac, /*entity=*/2);
+    g_fakeNow = 150;
+  }
+  {
+    Scope s(&p, Category::kRouting, /*entity=*/2);
+    g_fakeNow = 180;
+  }
+  {
+    Scope s(&p, Category::kMac, /*entity=*/0);
+    g_fakeNow = 190;
+  }
+  p.countFrameHeard(2);
+  p.countFrameHeard(2);
+  p.countFrameHeard(7);  // out of range: dropped, not UB
+
+  const Report r = p.report();
+  ASSERT_EQ(r.hotspot.entities.size(), 2u);  // nodes 1 and 3 were idle
+  const EntityReport& n0 = r.hotspot.entities[0];
+  const EntityReport& n2 = r.hotspot.entities[1];
+  EXPECT_EQ(n0.node, 0u);
+  EXPECT_EQ(n0.activations, 1u);
+  EXPECT_EQ(n0.selfNs, 10u);
+  EXPECT_EQ(n2.node, 2u);
+  EXPECT_EQ(n2.activations, 2u);
+  EXPECT_EQ(n2.selfNs, 80u);
+  EXPECT_EQ(n2.framesHeard, 2u);
+  EXPECT_EQ(n2.categorySelfNs[static_cast<std::size_t>(Category::kMac)],
+            50u);
+  EXPECT_EQ(n2.categorySelfNs[static_cast<std::size_t>(Category::kRouting)],
+            30u);
+  EXPECT_EQ(n2.categoryScopes[static_cast<std::size_t>(Category::kMac)], 1u);
+}
+
+TEST(HotspotProfilerTest, FanoutReport) {
+  Profiler p(enabledCfg(), &fakeClock);
+  p.recordFanout(10, 4);
+  p.recordFanout(10, 6);
+  p.recordFanout(10, 6);
+  const Report r = p.report();
+  const FanoutReport& f = r.hotspot.fanout;
+  EXPECT_EQ(f.transmissions, 3u);
+  EXPECT_EQ(f.radiosExamined, 30u);
+  EXPECT_EQ(f.radiosInRange, 16u);
+  EXPECT_EQ(f.maxInRange, 6u);
+  EXPECT_GT(f.p50, 0.0);
+  EXPECT_LE(f.p50, f.p99);
+  std::uint64_t bucketTotal = 0;
+  for (const HistBucket& b : f.buckets) bucketTotal += b.count;
+  EXPECT_EQ(bucketTotal, 3u);
+}
+
+TEST(HotspotProfilerTest, HorizonAndZeroHorizon) {
+  Profiler p(enabledCfg(), &fakeClock);
+  p.recordHorizon(0);
+  p.recordHorizon(1000);
+  p.recordHorizon(2000000);
+  const QueueReport& q = p.report().hotspot.queue;
+  EXPECT_EQ(q.scheduled, 3u);
+  EXPECT_EQ(q.zeroHorizon, 1u);
+  EXPECT_EQ(q.maxHorizonNs, 2000000u);
+  EXPECT_LE(q.horizonP50Ns, q.horizonP99Ns);
+}
+
+TEST(HotspotProfilerTest, QueueDepthSamplingDecimates) {
+  Profiler p(enabledCfg(), &fakeClock);
+  // Drive past 1024 samples at the initial stride of 64 dispatches; the
+  // series must decimate in place (stride doubles) instead of growing, and
+  // every retained sample must sit on the doubled stride.
+  const std::int64_t ticks = 64 * 1300;
+  for (std::int64_t i = 1; i <= ticks; ++i) {
+    p.noteQueueDepth(/*simNowNs=*/i, /*depth=*/static_cast<std::size_t>(7));
+  }
+  const QueueReport& q = p.report().hotspot.queue;
+  EXPECT_EQ(q.depthPeak, 7u);
+  EXPECT_DOUBLE_EQ(q.depthMean, 7.0);
+  ASSERT_FALSE(q.depthSamples.empty());
+  EXPECT_LE(q.depthSamples.size(), 1024u);
+  for (const QueueSample& s : q.depthSamples) {
+    EXPECT_EQ(s.simNs % 128, 0) << "sample off the doubled stride";
+    EXPECT_EQ(s.depth, 7u);
+  }
+}
+
+TEST(HotspotProfilerTest, DisabledProfilerRecordsNothing) {
+  Profiler p(ProfConfig{}, &fakeClock);  // enabled = false
+  p.ensureEntities(8);
+  p.countFrameHeard(1);
+  p.recordFanout(10, 5);
+  p.recordHorizon(100);
+  p.noteQueueDepth(1, 5);
+  p.allocRecord(AllocSite::kPacket);
+  EXPECT_EQ(p.entityCapacity(), 0u);  // ensureEntities did not allocate
+  const Report r = p.report();
+  EXPECT_FALSE(r.enabled);
+  EXPECT_TRUE(r.hotspot.entities.empty());
+  EXPECT_EQ(r.hotspot.fanout.transmissions, 0u);
+  EXPECT_EQ(r.hotspot.queue.scheduled, 0u);
+  EXPECT_EQ(r.hotspot.alloc[0].count, 0u);
+}
+
+TEST(HotspotProfilerTest, ProfilerInstallsTrackerWhileAlive) {
+  {
+    Profiler p(enabledCfg(), &fakeClock);
+    EXPECT_EQ(AllocTracker::current(), &p.allocTracker());
+    p.allocTracker().setUnitBytes(AllocSite::kEvent, 48);
+    p.allocRecord(AllocSite::kEvent);
+    EXPECT_EQ(p.report().hotspot.alloc[static_cast<std::size_t>(
+                  AllocSite::kEvent)].bytes,
+              48u);
+  }
+  EXPECT_EQ(AllocTracker::current(), nullptr);  // dtor uninstalled
+}
+
+TEST(HotspotProfilerTest, HotspotJsonContainsSections) {
+  Profiler p(enabledCfg(), &fakeClock);
+  p.ensureEntities(2);
+  g_fakeNow = 0;
+  {
+    Scope s(&p, Category::kPhy, 1);
+    g_fakeNow = 5;
+  }
+  p.recordFanout(4, 2);
+  p.recordHorizon(100);
+  const std::string json = hotspotJson(p.report().hotspot);
+  for (const char* key :
+       {"\"entities\":", "\"fanout\":", "\"queue\":", "\"alloc\":",
+        "\"packet\":", "\"event\":", "\"trace_record\":"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+}
+
+}  // namespace
+}  // namespace manet::prof
