@@ -133,7 +133,7 @@ namespace {
 
 /// Parse a positive double from `name`; unset/unparsable leaves `out`.
 void envDouble(const char* name, double& out) {
-  const char* v = std::getenv(name);
+  const char* v = std::getenv(name);  // NOLINT(concurrency-mt-unsafe)
   if (v == nullptr || v[0] == '\0') return;
   char* end = nullptr;
   const double d = std::strtod(v, &end);
@@ -141,7 +141,7 @@ void envDouble(const char* name, double& out) {
 }
 
 void envBool(const char* name, bool& out) {
-  if (const char* v = std::getenv(name); v != nullptr && v[0] != '\0') {
+  if (const char* v = std::getenv(name); v != nullptr && v[0] != '\0') {  // NOLINT(concurrency-mt-unsafe)
     out = v[0] == '1';
   }
 }
@@ -164,7 +164,7 @@ FaultPlan FaultPlan::fromEnv(FaultPlan base) {
   envDouble("MANET_FAULT_SURGE_GAP", base.surge.meanGapSec);
   envDouble("MANET_FAULT_SURGE_DURATION", base.surge.meanDurationSec);
   envDouble("MANET_FAULT_SURGE_MULT", base.surge.rateMultiplier);
-  if (const char* v = std::getenv("MANET_FAULT_SEED");
+  if (const char* v = std::getenv("MANET_FAULT_SEED");  // NOLINT(concurrency-mt-unsafe)
       v != nullptr && v[0] != '\0') {
     base.seed = static_cast<std::uint64_t>(std::strtoull(v, nullptr, 10));
   }

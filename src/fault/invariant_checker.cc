@@ -20,7 +20,7 @@ InvariantChecker::InvariantChecker(std::size_t numNodes)
     : numNodes_(numNodes), down_(numNodes, false) {}
 
 bool InvariantChecker::enabledFromEnv() {
-  const char* v = std::getenv("MANET_CHECK");
+  const char* v = std::getenv("MANET_CHECK");  // NOLINT(concurrency-mt-unsafe)
   return v != nullptr && v[0] == '1';
 }
 

@@ -2,6 +2,8 @@
 
 #include <unordered_set>
 
+#include "src/util/thread_annotations.h"
+
 namespace manet::net {
 
 const char* toString(PacketKind k) {

@@ -1,5 +1,7 @@
 #include "src/prof/hotspot.h"
 
+#include "src/util/thread_annotations.h"
+
 namespace manet::prof {
 
 const char* toString(AllocSite s) {

@@ -21,6 +21,8 @@
 #include <array>
 #include <cstdint>
 
+#include "src/util/thread_annotations.h"
+
 namespace manet::prof {
 
 /// The three allocation sites the future arenas will replace.

@@ -8,9 +8,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
-#include <mutex>
 
 #include "src/util/logging.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace manet::prof {
 
@@ -39,13 +40,13 @@ const char* toString(Gauge g) {
 }
 
 ProfConfig ProfConfig::fromEnv(ProfConfig base) {
-  if (const char* v = std::getenv("MANET_PROF"); v != nullptr) {
+  if (const char* v = std::getenv("MANET_PROF"); v != nullptr) {  // NOLINT(concurrency-mt-unsafe)
     base.enabled = v[0] == '1';
   }
-  if (const char* v = std::getenv("MANET_PROF_HIST"); v != nullptr) {
+  if (const char* v = std::getenv("MANET_PROF_HIST"); v != nullptr) {  // NOLINT(concurrency-mt-unsafe)
     base.histograms = v[0] != '0';
   }
-  if (const char* v = std::getenv("MANET_PROF_HEARTBEAT");
+  if (const char* v = std::getenv("MANET_PROF_HEARTBEAT");  // NOLINT(concurrency-mt-unsafe)
       v != nullptr && v[0] != '\0') {
     char* end = nullptr;
     const double secs = std::strtod(v, &end);
@@ -189,7 +190,7 @@ void Profiler::heartbeatSlow(std::int64_t simNowNs, std::int64_t simUntilNs,
   }
   {
     // Parallel sweep runs heartbeat concurrently; never interleave lines.
-    const std::lock_guard<std::mutex> lock(util::stderrMutex());
+    const util::MutexLock lock(util::stderrMutex());
     std::fprintf(stderr,
                  "[prof] sim t=%.1fs | %.2fM ev/s | sim rate %.2fx | "
                  "%" PRIu64 " events | wall %.1fs%s\n",

@@ -24,7 +24,7 @@ AggregateResult runReplicated(
   ExperimentPlan plan(label.empty() ? std::string("run") : label, base);
   RunnerOptions opts;
   opts.jobs = -1;  // MANET_JOBS when set, else serial
-  if (std::getenv("MANET_JOBS") == nullptr) opts.jobs = 1;
+  if (std::getenv("MANET_JOBS") == nullptr) opts.jobs = 1;  // NOLINT(concurrency-mt-unsafe)
   opts.replications = replications;
   opts.keepRuns = true;
   if (onRun) {
@@ -37,7 +37,7 @@ AggregateResult runReplicated(
 }
 
 BenchScale benchScale() {
-  const char* full = std::getenv("REPRO_FULL");
+  const char* full = std::getenv("REPRO_FULL");  // NOLINT(concurrency-mt-unsafe)
   if (full != nullptr && full[0] == '1') return benchScaleNamed("full");
   return benchScaleNamed("quick");
 }

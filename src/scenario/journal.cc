@@ -445,7 +445,7 @@ bool JournalWriter::campaign(const CampaignInfo& info) {
   kvS(line, "code_version", info.codeVersion);
   kvS(line, "cmd", info.cmd);
   line += '}';
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   return util::appendLineDurable(path_, line);
 }
 
@@ -463,7 +463,7 @@ bool JournalWriter::cell(const JournalEntry& e) {
     line += e.resultJson;  // pre-serialized object
   }
   line += '}';
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   return util::appendLineDurable(path_, line);
 }
 

@@ -26,13 +26,14 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "src/scenario/scenario.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace manet::scenario {
 
@@ -105,14 +106,17 @@ class JournalWriter {
   const std::string& path() const { return path_; }
 
   /// Write the campaign header record (call once per runPlan invocation).
-  bool campaign(const CampaignInfo& info);
+  bool campaign(const CampaignInfo& info) EXCLUDES(mu_);
 
   /// Append one cell record. Thread-safe.
-  bool cell(const JournalEntry& e);
+  bool cell(const JournalEntry& e) EXCLUDES(mu_);
 
  private:
   std::string path_;
-  std::mutex mu_;
+  // manet-lint: allow(lock-discipline): serializes the append-fsync
+  // sequence on the journal file, an external resource; the only member it
+  // could guard (path_) is set once in the constructor and read-only after.
+  util::Mutex mu_;
 };
 
 /// Parse a journal file. Missing file yields an empty state (resuming a

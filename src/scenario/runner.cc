@@ -2,14 +2,12 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <filesystem>
 #include <fstream>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <sstream>
@@ -23,6 +21,8 @@
 #include "src/telemetry/telemetry_config.h"
 #include "src/util/atomic_file.h"
 #include "src/util/logging.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace manet::scenario {
 
@@ -139,26 +139,27 @@ class InProcessWatchdog {
   ~InProcessWatchdog() {
     if (!thread_.joinable()) return;
     {
-      const std::lock_guard<std::mutex> lock(mu_);
+      const util::MutexLock lock(mu_);
       stop_ = true;
     }
-    cv_.notify_all();
+    cv_.notifyAll();
     thread_.join();
   }
 
-  void enter(std::size_t taskIdx, const std::string& label, int rep) {
+  void enter(std::size_t taskIdx, const std::string& label, int rep)
+      EXCLUDES(mu_) {
     if (timeoutSec_ <= 0) return;
     // Wall-clock deadline over a real thread's elapsed time; unrelated to
     // simulated time and never fed back into the simulation.
     // manet-lint: allow(wall-clock): in-process cell watchdog
     const auto now = std::chrono::steady_clock::now();
-    const std::lock_guard<std::mutex> lock(mu_);
+    const util::MutexLock lock(mu_);
     active_[taskIdx] = {now, label, rep};
   }
 
-  void leave(std::size_t taskIdx) {
+  void leave(std::size_t taskIdx) EXCLUDES(mu_) {
     if (timeoutSec_ <= 0) return;
-    const std::lock_guard<std::mutex> lock(mu_);
+    const util::MutexLock lock(mu_);
     active_.erase(taskIdx);
     warned_.erase(taskIdx);
   }
@@ -171,10 +172,10 @@ class InProcessWatchdog {
     int rep = 0;
   };
 
-  void loop() {
-    std::unique_lock<std::mutex> lock(mu_);
+  void loop() EXCLUDES(mu_) {
+    const util::MutexLock lock(mu_);
     while (!stop_) {
-      cv_.wait_for(lock, std::chrono::milliseconds(200));
+      cv_.waitFor(mu_, std::chrono::milliseconds(200));
       if (stop_) return;
       // manet-lint: allow(wall-clock): in-process cell watchdog
       const auto now = std::chrono::steady_clock::now();
@@ -183,7 +184,7 @@ class InProcessWatchdog {
             std::chrono::duration<double>(now - cell.start).count();
         if (elapsed < timeoutSec_ || warned_.count(idx) != 0) continue;
         warned_.insert(idx);
-        const std::lock_guard<std::mutex> err(util::stderrMutex());
+        const util::MutexLock err(util::stderrMutex());
         std::fprintf(stderr,
                      "  WATCHDOG: cell %s r%d exceeded %.1fs (%.1fs elapsed); "
                      "cannot kill an in-process cell — rerun with "
@@ -194,11 +195,11 @@ class InProcessWatchdog {
   }
 
   const double timeoutSec_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
-  std::map<std::size_t, Cell> active_;
-  std::set<std::size_t> warned_;
+  util::Mutex mu_;
+  util::CondVar cv_;
+  bool stop_ GUARDED_BY(mu_) = false;
+  std::map<std::size_t, Cell> active_ GUARDED_BY(mu_);
+  std::set<std::size_t> warned_ GUARDED_BY(mu_);
   std::thread thread_;
 };
 
@@ -214,7 +215,7 @@ const AggregateResult& SweepResult::at(std::string_view label) const {
 
 int resolveJobs(int jobs) {
   if (jobs >= 1) return jobs;
-  if (const char* v = std::getenv("MANET_JOBS"); v != nullptr && v[0] != '\0') {
+  if (const char* v = std::getenv("MANET_JOBS"); v != nullptr && v[0] != '\0') {  // NOLINT(concurrency-mt-unsafe)
     const long n = std::strtol(v, nullptr, 10);
     if (n >= 1) return static_cast<int>(n);
   }
@@ -434,7 +435,7 @@ SweepResult runPlan(const ExperimentPlan& plan, RunnerOptions opts) {
         if (opts.progress) {
           const std::size_t done =
               doneTasks.fetch_add(1, std::memory_order_relaxed) + 1;
-          const std::lock_guard<std::mutex> lock(util::stderrMutex());
+          const util::MutexLock lock(util::stderrMutex());
           std::fprintf(stderr,
                        "  [%zu/%zu] %s r%d: delivery %.3f, %.2fs wall\n",
                        done, numTasks, point.label.c_str(), rep,
@@ -448,7 +449,7 @@ SweepResult runPlan(const ExperimentPlan& plan, RunnerOptions opts) {
         if (opts.isolateCells) {
           quarantinedFlag[taskIdx] = 1;
           journalCell(point, rep, key, "quarantined", attempt, errMsg, "");
-          const std::lock_guard<std::mutex> lock(util::stderrMutex());
+          const util::MutexLock lock(util::stderrMutex());
           std::fprintf(stderr, "  QUARANTINED %s r%d after %d attempt(s): %s\n",
                        point.label.c_str(), rep, attempt, errMsg.c_str());
         } else {
@@ -459,7 +460,7 @@ SweepResult runPlan(const ExperimentPlan& plan, RunnerOptions opts) {
       const double backoff =
           opts.retryBackoffSec * static_cast<double>(1 << (attempt - 1));
       {
-        const std::lock_guard<std::mutex> lock(util::stderrMutex());
+        const util::MutexLock lock(util::stderrMutex());
         std::fprintf(stderr,
                      "  RETRY %s r%d (attempt %d/%d failed: %s); backing off "
                      "%.1fs\n",

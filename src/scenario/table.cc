@@ -70,7 +70,7 @@ void Table::print(const std::string& title, const std::string& csvPath) const {
     util::atomicWriteFile(csvPath, csv());
     std::printf("(csv written to %s)\n", csvPath.c_str());
     // Mirror the CSV into the structured-export directory, if configured.
-    if (const char* dir = std::getenv("MANET_EXPORT_DIR");
+    if (const char* dir = std::getenv("MANET_EXPORT_DIR");  // NOLINT(concurrency-mt-unsafe)
         dir != nullptr && dir[0] != '\0') {
       telemetry::writeFile(std::string(dir) + "/" + csvPath, csv());
     }

@@ -35,16 +35,16 @@ util::LogLevel parseLogLevel(const char* s, util::LogLevel fallback) {
 TelemetryConfig TelemetryConfig::fromEnv() { return fromEnv(TelemetryConfig{}); }
 
 TelemetryConfig TelemetryConfig::fromEnv(TelemetryConfig base) {
-  if (const char* v = std::getenv("MANET_TRACE_JSONL");
+  if (const char* v = std::getenv("MANET_TRACE_JSONL");  // NOLINT(concurrency-mt-unsafe)
       v != nullptr && v[0] != '\0') {
     base.traceJsonlPath = v;
   }
-  if (const char* v = std::getenv("MANET_TRACE_RING");
+  if (const char* v = std::getenv("MANET_TRACE_RING");  // NOLINT(concurrency-mt-unsafe)
       v != nullptr && v[0] != '\0') {
     const long n = std::strtol(v, nullptr, 10);
     base.ringCapacity = n > 0 ? static_cast<std::size_t>(n) : 0;
   }
-  if (const char* v = std::getenv("MANET_SAMPLE_PERIOD");
+  if (const char* v = std::getenv("MANET_SAMPLE_PERIOD");  // NOLINT(concurrency-mt-unsafe)
       v != nullptr && v[0] != '\0') {
     char* end = nullptr;
     const double secs = std::strtod(v, &end);
@@ -55,21 +55,21 @@ TelemetryConfig TelemetryConfig::fromEnv(TelemetryConfig base) {
     }
     // Unparsable values leave the base setting (sampling stays off).
   }
-  if (const char* v = std::getenv("MANET_EXPORT_DIR");
+  if (const char* v = std::getenv("MANET_EXPORT_DIR");  // NOLINT(concurrency-mt-unsafe)
       v != nullptr && v[0] != '\0') {
     base.exportDir = v;
   }
-  if (const char* v = std::getenv("MANET_LOG_LEVEL"); v != nullptr) {
+  if (const char* v = std::getenv("MANET_LOG_LEVEL"); v != nullptr) {  // NOLINT(concurrency-mt-unsafe)
     base.logLevel = parseLogLevel(v, base.logLevel);
   }
-  if (const char* v = std::getenv("MANET_TRACE_LOGS"); v != nullptr) {
+  if (const char* v = std::getenv("MANET_TRACE_LOGS"); v != nullptr) {  // NOLINT(concurrency-mt-unsafe)
     base.captureLogs = v[0] == '1';
   }
-  if (const char* v = std::getenv("MANET_TRACE_PERFETTO");
+  if (const char* v = std::getenv("MANET_TRACE_PERFETTO");  // NOLINT(concurrency-mt-unsafe)
       v != nullptr && v[0] != '\0') {
     base.perfettoPath = v;
   }
-  if (const char* v = std::getenv("MANET_TRACE_SPANS");
+  if (const char* v = std::getenv("MANET_TRACE_SPANS");  // NOLINT(concurrency-mt-unsafe)
       v != nullptr && v[0] != '\0') {
     const long n = std::strtol(v, nullptr, 10);
     base.dispatchSpanCapacity = n > 0 ? static_cast<std::size_t>(n) : 0;

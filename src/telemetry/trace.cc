@@ -2,8 +2,10 @@
 
 #include <cinttypes>
 #include <filesystem>
-#include <mutex>
 #include <system_error>
+
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace manet::telemetry {
 
@@ -221,8 +223,10 @@ void ensureParentDir(const std::string& path) {
   // creation so racing mkdir calls cannot spuriously fail.
   // manet-lint: allow(shared-mutable): process-wide mutex guarding
   // filesystem mutation only; no simulation state.
-  static std::mutex dirMutex;
-  const std::lock_guard<std::mutex> lock(dirMutex);
+  // manet-lint: allow(lock-discipline): serializes filesystem mkdir, an
+  // external resource with no in-process data members.
+  static util::Mutex dirMutex;
+  const util::MutexLock lock(dirMutex);
   std::filesystem::create_directories(p.parent_path(), ec);
 }
 

@@ -7,8 +7,10 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
-#include <mutex>
 #include <string>
+
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace manet::util {
 
@@ -21,8 +23,10 @@ void ensureParent(const std::string& path) {
   // creation so racing mkdir calls cannot spuriously fail.
   // manet-lint: allow(shared-mutable): process-wide mkdir serialization
   // only; never read by simulation code
-  static std::mutex dirMutex;
-  const std::lock_guard<std::mutex> lock(dirMutex);
+  // manet-lint: allow(lock-discipline): serializes filesystem mkdir, an
+  // external resource with no in-process data members.
+  static Mutex dirMutex;
+  const MutexLock lock(dirMutex);
   std::error_code ec;
   std::filesystem::create_directories(p.parent_path(), ec);
 }

@@ -23,10 +23,12 @@ void setLogLevel(LogLevel level) {
   g_level.store(level, std::memory_order_relaxed);
 }
 
-std::mutex& stderrMutex() {
+Mutex& stderrMutex() {
   // manet-lint: allow(shared-mutable): stderr serialization only; guards
   // writes to a shared fd and is never read by simulation code.
-  static std::mutex m;
+  // manet-lint: allow(lock-discipline): guards the process-wide stderr
+  // stream, an external resource with no in-process data members.
+  static Mutex m;
   return m;
 }
 
@@ -38,7 +40,7 @@ void logLine(LogLevel level, std::string_view msg) {
     return;
   }
   static constexpr const char* kNames[] = {"", "E", "I", "D", "T"};
-  const std::lock_guard<std::mutex> lock(stderrMutex());
+  const MutexLock lock(stderrMutex());
   std::fprintf(stderr, "[%s] %.*s\n", kNames[static_cast<int>(level)],
                static_cast<int>(msg.size()), msg.data());
 }

@@ -20,9 +20,11 @@
 
 #include <cstdio>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <string_view>
+
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace manet::util {
 
@@ -33,8 +35,9 @@ void setLogLevel(LogLevel level);
 
 /// Process-wide mutex serializing raw stderr lines (log fallback writer,
 /// profiler heartbeat, runner progress), so concurrent runs never interleave
-/// partial lines.
-std::mutex& stderrMutex();
+/// partial lines. Hold it as `const util::MutexLock lock(stderrMutex());`
+/// around the fprintf calls that emit one logical line.
+Mutex& stderrMutex();
 
 /// Redirect formatted log lines (e.g. into a telemetry TraceSink). Pass an
 /// empty function to restore the default stderr writer. Thread-local: the

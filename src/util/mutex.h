@@ -1,0 +1,89 @@
+// Annotated mutex primitives for Clang Thread Safety Analysis.
+//
+// libstdc++'s std::mutex carries no capability attributes, so code locking
+// it directly is invisible to -Wthread-safety: the analysis would demand
+// GUARDED_BY proofs it can never discharge. These thin wrappers are the
+// repo's sanctioned locking vocabulary — util::Mutex is the CAPABILITY,
+// util::MutexLock the RAII holder the analysis tracks, util::CondVar the
+// condition variable that states its lock requirement in the signature.
+//
+// Locking discipline (enforced by tools/manet_lint):
+//   * every Mutex declaration in src/ names the data it guards via
+//     GUARDED_BY(mu) members, or carries an allow(lock-discipline) comment
+//     naming the external resource it serializes (a file descriptor, the
+//     stderr stream);
+//   * bare .lock()/.unlock() calls are banned in src/ (rule bare-lock):
+//     critical sections are MutexLock scopes, so no early return or
+//     exception can leak a held lock.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "src/util/thread_annotations.h"
+
+namespace manet::util {
+
+/// A std::mutex the thread-safety analysis can reason about. Members name
+/// it in GUARDED_BY(...); functions in REQUIRES(...)/EXCLUDES(...).
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool tryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII critical section over a util::Mutex; the only sanctioned way to
+/// hold one outside src/util/mutex.h itself.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable bound to util::Mutex. The wait side states its lock
+/// requirement so the analysis proves every waiter actually holds the
+/// mutex the predicate reads.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically release `mu`, wait up to `timeout` (or a notify), and
+  /// re-acquire before returning — the std::condition_variable contract,
+  /// expressed against the annotated mutex.
+  template <typename Rep, typename Period>
+  void waitFor(Mutex& mu,
+               const std::chrono::duration<Rep, Period>& timeout)
+      REQUIRES(mu) {
+    // Adopt the already-held native mutex, wait, then hand ownership back
+    // without unlocking: the caller's MutexLock continues to own it.
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait_for(native, timeout);
+    native.release();
+  }
+
+  void notifyOne() { cv_.notify_one(); }
+  void notifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace manet::util

@@ -4,9 +4,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <map>
 #include <string>
 #include <vector>
 
+#include "src/util/json.h"
 #include "tools/manet_lint/lint.h"
 
 namespace manet::lint {
@@ -255,8 +260,10 @@ TEST(ManetLintTest, SharedMutableIgnoresConstAndFunctions) {
 TEST(ManetLintTest, SharedMutableSuppressible) {
   const auto fs = lintSource(
       "src/util/x.cc",
-      "// manet-lint: allow(shared-mutable): stderr serialization only\n"
-      "static std::mutex g_mutex;\n");
+      "#include \"src/util/mutex.h\"\n"
+      "// manet-lint: allow(shared-mutable, lock-discipline): stderr\n"
+      "// serialization only, an external resource with no members\n"
+      "static util::Mutex g_mutex;\n");
   EXPECT_TRUE(fs.empty());
 }
 
@@ -349,6 +356,301 @@ TEST(ManetLintTest, CommentsAndStringsAreNotMatched) {
                   .empty());
 }
 
+// ----------------------------------------------------------- lock-discipline
+
+TEST(ManetLintTest, LockDisciplineFlagsUnguardedMutex) {
+  const auto fs = lintSource("src/core/x.cc",
+                             "#include \"src/util/mutex.h\"\n"
+                             "class Tally {\n"
+                             "  util::Mutex mu_;\n"
+                             "  int hits_ = 0;\n"
+                             "};\n");
+  ASSERT_TRUE(hasRule(fs, "lock-discipline"));
+  EXPECT_EQ(lineOf(fs, "lock-discipline"), 3);
+}
+
+TEST(ManetLintTest, LockDisciplineFlagsRawStdMutexToo) {
+  EXPECT_TRUE(hasRule(lintSource("src/net/x.cc",
+                                 "#include <mutex>\n"
+                                 "std::mutex g_mu;\n"
+                                 "// manet-lint: allow(shared-mutable): x\n"),
+                      "lock-discipline"));
+}
+
+TEST(ManetLintTest, LockDisciplineAcceptsGuardedMembers) {
+  const auto fs = lintSource("src/core/x.cc",
+                             "#include \"src/util/mutex.h\"\n"
+                             "class Tally {\n"
+                             "  util::Mutex mu_;\n"
+                             "  int hits_ GUARDED_BY(mu_) = 0;\n"
+                             "};\n");
+  EXPECT_FALSE(hasRule(fs, "lock-discipline"));
+}
+
+TEST(ManetLintTest, LockDisciplineSeesGuardInPairedHeader) {
+  const auto fs = lintSource(
+      "src/scenario/x.cc",
+      "#include \"src/util/mutex.h\"\n"
+      "util::Mutex Registry::mu_;\n",
+      "class Registry {\n"
+      "  static util::Mutex mu_;\n"
+      "  static int count_ GUARDED_BY(mu_);\n"
+      "};\n");
+  EXPECT_FALSE(hasRule(fs, "lock-discipline"));
+}
+
+TEST(ManetLintTest, LockDisciplineExternalResourceSuppressible) {
+  const auto fs = lintSource(
+      "src/util/x.cc",
+      "#include \"src/util/mutex.h\"\n"
+      "util::Mutex& dirMutex() {\n"
+      "  // manet-lint: allow(shared-mutable, lock-discipline): serializes\n"
+      "  // filesystem mkdir, an external resource with no members\n"
+      "  static util::Mutex m;\n"
+      "  return m;\n"
+      "}\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(ManetLintTest, LockDisciplineExemptInMutexHeaderAndOutsideSrc) {
+  EXPECT_TRUE(lintSource("src/util/mutex.h",
+                         "#include <mutex>\n"
+                         "class Mutex {\n  std::mutex mu_;\n};\n")
+                  .empty());
+  EXPECT_TRUE(lintSource("tests/x_test.cc",
+                         "#include <mutex>\nstd::mutex g_mu;\n")
+                  .empty());
+}
+
+// ------------------------------------------------------- annotation-coverage
+
+TEST(ManetLintTest, AnnotationCoverageFlagsFileWithoutHeader) {
+  const auto fs = lintSource(
+      "src/core/x.cc",
+      "// manet-lint: allow(shared-mutable): audited observational counter\n"
+      "static int g_count = 0;\n");
+  ASSERT_TRUE(hasRule(fs, "annotation-coverage"));
+  EXPECT_EQ(lineOf(fs, "annotation-coverage"), 1);
+}
+
+TEST(ManetLintTest, AnnotationCoverageAcceptsDirectInclude) {
+  const auto fs = lintSource(
+      "src/core/x.cc",
+      "#include \"src/util/thread_annotations.h\"\n"
+      "// manet-lint: allow(shared-mutable): audited observational counter\n"
+      "static int g_count = 0;\n");
+  EXPECT_FALSE(hasRule(fs, "annotation-coverage"));
+}
+
+TEST(ManetLintTest, AnnotationCoverageAcceptsIncludeViaPairedHeader) {
+  // logging.cc picks the annotation header up through logging.h.
+  const auto fs = lintSource(
+      "src/util/x.cc",
+      "// manet-lint: allow(shared-mutable): audited observational counter\n"
+      "static int g_count = 0;\n",
+      "#include \"src/util/mutex.h\"\nclass X {};\n");
+  EXPECT_FALSE(hasRule(fs, "annotation-coverage"));
+}
+
+TEST(ManetLintTest, AnnotationCoverageSuppressible) {
+  const auto fs = lintSource(
+      "src/core/x.cc",
+      "// manet-lint: allow(shared-mutable, annotation-coverage): plain int\n"
+      "// consumed by report binaries only\n"
+      "static int g_flag = 0;\n");
+  EXPECT_FALSE(hasRule(fs, "annotation-coverage"));
+}
+
+// ---------------------------------------------------------------- bare-lock
+
+TEST(ManetLintTest, BareLockFlagsManualLockUnlock) {
+  const auto fs = lintSource("src/net/x.cc",
+                             "#include \"src/util/mutex.h\"\n"
+                             "void f(util::Mutex& mu) {\n"
+                             "  mu.lock();\n"
+                             "  mu.unlock();\n"
+                             "}\n");
+  ASSERT_TRUE(hasRule(fs, "bare-lock"));
+  EXPECT_EQ(lineOf(fs, "bare-lock"), 3);
+}
+
+TEST(ManetLintTest, BareLockFlagsPointerCallsToo) {
+  EXPECT_TRUE(hasRule(
+      lintSource("src/scenario/x.cc", "void f(M* m) { m->unlock(); }\n"),
+      "bare-lock"));
+}
+
+TEST(ManetLintTest, BareLockAcceptsRaiiScopes) {
+  const auto fs = lintSource("src/net/x.cc",
+                             "#include \"src/util/mutex.h\"\n"
+                             "void f(util::Mutex& mu) {\n"
+                             "  const util::MutexLock lock(mu);\n"
+                             "}\n");
+  EXPECT_FALSE(hasRule(fs, "bare-lock"));
+}
+
+TEST(ManetLintTest, BareLockSuppressibleAndScoped) {
+  const auto fs = lintSource(
+      "src/scenario/x.cc",
+      "void f(util::Mutex& mu) {\n"
+      "  // manet-lint: allow(bare-lock): audited handoff to the callee\n"
+      "  mu.lock();\n"
+      "}\n");
+  EXPECT_FALSE(hasRule(fs, "bare-lock"));
+  EXPECT_TRUE(lintSource("src/util/mutex.h",
+                         "void lock() { mu_.lock(); }\n")
+                  .empty());
+  EXPECT_TRUE(
+      lintSource("bench/x.cc", "void f(std::mutex& m) { m.lock(); }\n")
+          .empty());
+}
+
+// ------------------------------------------------------------------- SARIF
+
+TEST(ManetLintTest, SarifReportHasGithubConsumableShape) {
+  const std::vector<Finding> findings = {
+      {"src/core/x.cc", 12, "raw-rng", "process-global RNG"},
+      {"src/util/y.cc", 3, "bare-lock", "direct .lock()"},
+  };
+  std::string err;
+  const auto doc = util::parseJson(sarifReport(findings), &err);
+  ASSERT_TRUE(doc.has_value()) << err;
+  EXPECT_EQ(doc->stringAt("version"), "2.1.0");
+  ASSERT_NE(doc->find("runs"), nullptr);
+  const auto& run = doc->find("runs")->asArray().at(0);
+  const auto* driver = run.find("tool")->find("driver");
+  ASSERT_NE(driver, nullptr);
+  EXPECT_EQ(driver->stringAt("name"), "manet_lint");
+
+  // Full rule catalog with stable ids in catalog order.
+  const auto& ruleArr = driver->find("rules")->asArray();
+  ASSERT_EQ(ruleArr.size(), rules().size());
+  for (std::size_t i = 0; i < ruleArr.size(); ++i) {
+    EXPECT_EQ(ruleArr[i].stringAt("id"), rules()[i].id);
+    EXPECT_FALSE(
+        ruleArr[i].find("shortDescription")->stringAt("text").empty());
+    EXPECT_EQ(ruleArr[i].find("defaultConfiguration")->stringAt("level"),
+              "error");
+  }
+
+  // One result per finding, ruleIndex pointing back into the catalog.
+  const auto& results = run.find("results")->asArray();
+  ASSERT_EQ(results.size(), findings.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].stringAt("ruleId"), findings[i].rule);
+    const auto idx =
+        static_cast<std::size_t>(results[i].numberAt("ruleIndex", -1));
+    ASSERT_LT(idx, rules().size());
+    EXPECT_EQ(rules()[idx].id, findings[i].rule);
+    const auto& loc = results[i].find("locations")->asArray().at(0);
+    const auto* phys = loc.find("physicalLocation");
+    ASSERT_NE(phys, nullptr);
+    EXPECT_EQ(phys->find("artifactLocation")->stringAt("uri"),
+              findings[i].file);
+    EXPECT_EQ(phys->find("artifactLocation")->stringAt("uriBaseId"),
+              "%SRCROOT%");
+    EXPECT_EQ(phys->find("region")->numberAt("startLine"), findings[i].line);
+  }
+}
+
+TEST(ManetLintTest, SarifEscapesMessageContent) {
+  const std::vector<Finding> findings = {
+      {"src/core/x.cc", 1, "raw-rng", "a \"quoted\"\nmessage\twith\\stuff"}};
+  std::string err;
+  const auto doc = util::parseJson(sarifReport(findings), &err);
+  ASSERT_TRUE(doc.has_value()) << err;
+}
+
+TEST(ManetLintTest, SarifEmptyFindingsStillValidates) {
+  std::string err;
+  const auto doc = util::parseJson(sarifReport({}), &err);
+  ASSERT_TRUE(doc.has_value()) << err;
+  const auto& run = doc->find("runs")->asArray().at(0);
+  EXPECT_TRUE(run.find("results")->asArray().empty());
+}
+
+// ----------------------------------------------------------- allow budgets
+
+TEST(ManetLintTest, BudgetRoundTripsThroughFormatAndParse) {
+  std::map<std::string, std::size_t> counts;
+  counts["raw-rng"] = 2;
+  counts["bare-lock"] = 1;
+  std::vector<std::string> errors;
+  const auto parsed = parseBudget(formatBudget(counts), &errors);
+  EXPECT_TRUE(errors.empty());
+  // formatBudget writes the full catalog; absent rules round-trip as zero.
+  ASSERT_EQ(parsed.size(), rules().size());
+  EXPECT_EQ(parsed.at("raw-rng"), 2u);
+  EXPECT_EQ(parsed.at("bare-lock"), 1u);
+  EXPECT_EQ(parsed.at("wall-clock"), 0u);
+}
+
+TEST(ManetLintTest, BudgetParserRejectsGarbage) {
+  std::vector<std::string> errors;
+  parseBudget("raw-rng two\nnot-a-rule 3\nraw-rng 1 extra\n", &errors);
+  EXPECT_EQ(errors.size(), 3u);
+}
+
+TEST(ManetLintTest, CheckBudgetPassesAtBaselineFailsOnGrowth) {
+  std::map<std::string, std::size_t> counts;
+  counts["raw-rng"] = 3;
+  std::map<std::string, std::size_t> budget;
+  budget["raw-rng"] = 3;
+
+  // Exactly at baseline: pass.
+  std::string report;
+  EXPECT_EQ(checkBudget(counts, budget, &report), 0);
+  EXPECT_NE(report.find("allow budget OK"), std::string::npos);
+
+  // One new allow: fail, naming the rule.
+  counts["raw-rng"] = 4;
+  report.clear();
+  EXPECT_EQ(checkBudget(counts, budget, &report), 1);
+  EXPECT_NE(report.find("over budget: raw-rng"), std::string::npos);
+
+  // Baseline bump restores the pass.
+  budget["raw-rng"] = 4;
+  report.clear();
+  EXPECT_EQ(checkBudget(counts, budget, &report), 0);
+
+  // Slack is reported but does not fail.
+  counts["raw-rng"] = 2;
+  report.clear();
+  EXPECT_EQ(checkBudget(counts, budget, &report), 0);
+  EXPECT_NE(report.find("slack: raw-rng"), std::string::npos);
+}
+
+TEST(ManetLintTest, CheckBudgetTreatsMissingEntriesAsZero) {
+  std::map<std::string, std::size_t> counts;
+  counts["bare-lock"] = 1;
+  EXPECT_EQ(checkBudget(counts, {}, nullptr), 1);
+  EXPECT_EQ(checkBudget({}, {}, nullptr), 0);
+}
+
+// ------------------------------------------------------- path normalization
+
+TEST(ManetLintTest, LintTreeReportsRepoRelativePathsFromAnyRootSpelling) {
+  namespace fs = std::filesystem;
+  const fs::path root =
+      fs::temp_directory_path() / "manet_lint_path_norm_test";
+  fs::remove_all(root);
+  fs::create_directories(root / "src" / "core");
+  {
+    std::ofstream out(root / "src" / "core" / "bad.cc");
+    out << "int f() { return rand(); }\n";
+  }
+  // A dot-segmented spelling of the same root must yield identical,
+  // repo-relative findings (this is what CI's SARIF upload consumes).
+  const std::string dotted = (root / "." / "src" / "..").string();
+  const auto direct = lintTree(root.string());
+  const auto viaDots = lintTree(dotted);
+  fs::remove_all(root);
+  ASSERT_EQ(direct.size(), 1u);
+  EXPECT_EQ(direct[0].file, "src/core/bad.cc");
+  ASSERT_EQ(viaDots.size(), 1u);
+  EXPECT_EQ(viaDots[0].file, "src/core/bad.cc");
+}
+
 // ------------------------------------------------------------------- misc
 
 TEST(ManetLintTest, FormatFindingIsGrepable) {
@@ -360,6 +662,13 @@ TEST(ManetLintTest, EveryRuleHasARationale) {
   for (const RuleInfo& r : rules()) {
     EXPECT_FALSE(ruleRationale(r.id).empty()) << r.id;
   }
+}
+
+TEST(ManetLintTest, EveryRuleHasAnActionableFixHint) {
+  for (const RuleInfo& r : rules()) {
+    EXPECT_FALSE(ruleHint(r.id).empty()) << r.id;
+  }
+  EXPECT_TRUE(ruleHint("no-such-rule").empty());
 }
 
 TEST(ManetLintTest, SelfTestPasses) { EXPECT_EQ(runSelfTest(), 0); }

@@ -21,37 +21,52 @@ const std::vector<RuleInfo> kRules = {
      "Every random draw must come from a named sim::Rng stream so runs are "
      "replayable from the scenario seeds alone. rand() is process-global "
      "state and std::random_device is nondeterministic by design; either one "
-     "makes same-seed replay impossible."},
+     "makes same-seed replay impossible.",
+     "Draw from a named sim::Rng stream (Scenario owns them, seeded from the "
+     "scenario config); delete the rand()/srand()/random_device call."},
     {"wall-clock",
      "wall/steady clock reads outside src/prof/ and bench/",
      "Simulated time comes only from Scheduler::now(). A wall-clock read in "
      "simulation code couples results to host speed and scheduling; profiling "
      "(src/prof/) and benchmarks (bench/) are the only layers that may time "
-     "the host, and they must never feed the value back into the sim."},
+     "the host, and they must never feed the value back into the sim.",
+     "Replace the clock read with Scheduler::now(), or move the timing into "
+     "src/prof//bench/; a report-only read needs an allow stating the value "
+     "never feeds back into the simulation."},
     {"unordered-iter",
      "iteration over std::unordered_{map,set} in simulation-visible code",
      "Hash-table iteration order is unspecified and differs across standard "
      "libraries; if it reaches scheduling, RNG draws, or packet emission "
      "order, replay is only accidentally reproducible. Point lookups are "
      "fine; loops must use std::map / sorted vectors, or be allowlisted with "
-     "a proof that order cannot escape."},
+     "a proof that order cannot escape.",
+     "Change the container to std::map / a sorted vector, or collect keys "
+     "and sort before iterating; an allow needs a proof that iteration "
+     "order cannot reach scheduling, RNG draws, or packet emission."},
     {"sched-category",
      "Scheduler::scheduleAt/scheduleAfter call without a prof::Category tag",
      "The profiler attributes wall time per event category; an untagged call "
      "site lands in kOther and hides its cost. Library code must state the "
-     "category explicitly at every schedule call."},
+     "category explicitly at every schedule call.",
+     "Append the event's prof::Category (kPhy/kMac/kRouting/...) as the "
+     "last argument of the scheduleAt/scheduleAfter call."},
     {"float-time",
      "sim::Time <-> floating point round-trips in simulation-core code",
      "sim::Time is integer nanoseconds precisely so event ordering has no "
      "floating-point drift. toSeconds()/fromSeconds() in core simulation "
      "logic reintroduce rounding; keep float math in reporting layers, or "
-     "allowlist fixed-operation uses that are bit-stable per IEEE-754."},
+     "allowlist fixed-operation uses that are bit-stable per IEEE-754.",
+     "Do the arithmetic in integer nanoseconds (sim::Time ops), or move the "
+     "conversion into a reporting layer; a fixed-op use that is bit-stable "
+     "per IEEE-754 may carry an allow saying so."},
     {"iostream-include",
      "#include <iostream> in library code (src/)",
      "iostream drags in global constructors and encourages ad-hoc stdout "
      "writes from library code; use util::log (captured by telemetry) or "
      "return data to the caller. Binaries under bench/, examples/, tests/ "
-     "may print freely."},
+     "may print freely.",
+     "Drop the include; emit through util::log (MANET_INFO/...) or return "
+     "the data to the caller and let a binary print it."},
     {"shared-mutable",
      "non-const global/static-local state in src/ outside allowlisted sinks",
      "A mutable global or function-local static is shared by every Scenario "
@@ -59,7 +74,11 @@ const std::vector<RuleInfo> kRules = {
      "thread — so it either data-races or couples runs together and breaks "
      "bit-identical replay. Keep state per-Scenario; a true process-wide "
      "sink (log level, stderr mutex) or a thread_local with a per-run reset "
-     "must carry an allow comment stating why it cannot perturb results."},
+     "must carry an allow comment stating why it cannot perturb results.",
+     "Move the state onto the Scenario (or the object that owns the run); a "
+     "deliberate process-wide sink keeps the global but adds an allow with "
+     "its safety argument and includes src/util/thread_annotations.h so the "
+     "sharing is under the annotation regime."},
     {"causal-id",
      "Packet::make() without a causeUid link in protocol code",
      "The causal trace layer reconstructs why every packet exists from "
@@ -67,7 +86,10 @@ const std::vector<RuleInfo> kRules = {
      "segment). A protocol-layer Packet::make() that never assigns causeUid "
      "silently breaks those chains. Set `p->causeUid = <trigger>->uid` in "
      "the construction block, or allowlist a true root origination (new "
-     "application data) with the reason."},
+     "application data) with the reason.",
+     "Assign `p->causeUid = <triggering packet>->uid` inside the "
+     "construction block; a true root origination (new application data) "
+     "carries an allow naming it as such."},
     {"subprocess",
      "process spawning (fork/exec/posix_spawn/system/popen) in src/ outside "
      "the supervisor",
@@ -76,7 +98,10 @@ const std::vector<RuleInfo> kRules = {
      "multithreaded parent, and its exit status rarely reaches the campaign "
      "report. Supervised cell isolation (src/scenario/supervisor.cc) is the "
      "single sanctioned spawn point and carries per-line allows; tools/, "
-     "tests/ and bench/ drive binaries freely."},
+     "tests/ and bench/ drive binaries freely.",
+     "Route the spawn through runChildProcess in src/scenario/supervisor.cc "
+     "(the sanctioned, watchdogged spawn point), or move the code into "
+     "tools//tests//bench/ where spawning is free."},
     {"hotspot-guard",
      "hotspot counter record call outside src/prof/ without the enabled-flag "
      "null check",
@@ -86,15 +111,56 @@ const std::vector<RuleInfo> kRules = {
      "or 'if (auto* a = prof::AllocTracker::current())'. An unguarded "
      "recordFanout/countFrameHeard/recordHorizon/noteQueueDepth/allocRecord "
      "call either dereferences null when profiling is off or silently pays "
-     "the record cost on every run."},
+     "the record cost on every run.",
+     "Wrap the record call in the canonical guard: 'if (prof::Profiler* p = "
+     "sched_.profiler())', 'if (prof_ != nullptr)' or 'if (auto* a = "
+     "prof::AllocTracker::current())'."},
+    {"lock-discipline",
+     "mutex declared in src/ without a GUARDED_BY-annotated data set",
+     "A mutex that guards nothing the compiler can see is a data race "
+     "waiting to happen: Clang Thread Safety Analysis can only prove "
+     "lock discipline for members annotated GUARDED_BY(mu). Every mutex in "
+     "src/ must either guard annotated members or carry an allow naming the "
+     "external resource (file descriptor, stderr stream) it serializes.",
+     "Annotate the data the mutex protects — 'int x_ GUARDED_BY(mu_);' "
+     "(macros from src/util/thread_annotations.h) — or, if it serializes an "
+     "external resource with no in-process members, add an allow naming "
+     "that resource. Prefer util::Mutex over std::mutex so the analysis "
+     "sees acquisitions."},
+    {"annotation-coverage",
+     "allow(shared-mutable) in a file that lacks the thread-annotation "
+     "header",
+     "Every audited shared-mutable global is by definition thread-shared "
+     "state, which is exactly what the thread-safety annotation layer "
+     "exists to police. A file on the shared-mutable allowlist that does "
+     "not include src/util/thread_annotations.h (directly or via "
+     "src/util/mutex.h) has opted out of the compile-time race checks its "
+     "own suppression says it needs.",
+     "Add '#include \"src/util/thread_annotations.h\"' (or include "
+     "src/util/mutex.h, which pulls it in) and annotate the shared state's "
+     "locking contract where one exists."},
+    {"bare-lock",
+     "direct .lock()/.unlock() call outside the RAII wrappers in src/",
+     "A bare lock()/unlock() pair leaks the mutex on every early return and "
+     "exception path between them, and Clang Thread Safety Analysis cannot "
+     "match manually split acquire/release sites across branches. Critical "
+     "sections in src/ are MutexLock scopes; only src/util/mutex.h itself "
+     "touches the underlying std::mutex.",
+     "Replace the lock()/unlock() pair with a scoped 'const util::MutexLock "
+     "lock(mu);' block (narrow the block to the critical section); a "
+     "deliberate cross-scope handoff needs an allow with its audit."},
     {"bare-allow",
      "manet-lint allow() comment without a justification",
      "Every suppression must record why the flagged construct cannot perturb "
-     "the simulation: '// manet-lint: allow(<rule>): <reason>'."},
+     "the simulation: '// manet-lint: allow(<rule>): <reason>'.",
+     "Append the justification: '// manet-lint: allow(<rule>): <why this "
+     "cannot perturb the simulation>'."},
     {"unknown-rule",
      "manet-lint allow() naming a rule the linter does not know",
      "A typo in the rule id would silently suppress nothing; name one of the "
-     "ids listed by --list-rules."},
+     "ids listed by --list-rules.",
+     "Fix the rule id to one listed by --list-rules (or delete the stale "
+     "allow if the rule no longer exists)."},
 };
 
 // Directories (repo-relative prefixes) where hash-order iteration or
@@ -685,6 +751,108 @@ void checkHotspotGuards(const std::string& code,
   }
 }
 
+/// lock-discipline: a mutex declared in src/ must guard something the
+/// compiler can see — at least one member annotated GUARDED_BY(<name>) /
+/// PT_GUARDED_BY(<name>) in the same file or the paired header — or carry
+/// an allow naming the external resource (stderr stream, filesystem,
+/// journal fd) it serializes. Matches both the annotated util::Mutex
+/// wrapper and raw std:: mutex types, so an unannotated std::mutex that
+/// sneaks past the conversion is flagged too.
+void checkLockDiscipline(const std::string& code,
+                         const std::string& headerCode,
+                         const std::map<int, Allow>& allows,
+                         const std::string& relPath,
+                         std::vector<Finding>* out) {
+  static const std::regex kMutexDecl(
+      R"(\b(?:std::(?:recursive_|shared_|timed_)?mutex|(?:util::)?Mutex)\b)"
+      R"(\s+(\w+)\s*[;{=])");
+  for (auto it = std::sregex_iterator(code.begin(), code.end(), kMutexDecl);
+       it != std::sregex_iterator(); ++it) {
+    const std::string name = (*it)[1].str();
+    const std::regex guarded("\\b(?:PT_)?GUARDED_BY\\(\\s*" + name +
+                             "\\s*\\)");
+    if (std::regex_search(code, guarded) ||
+        (!headerCode.empty() && std::regex_search(headerCode, guarded))) {
+      continue;
+    }
+    const auto start = static_cast<std::size_t>(it->position(0));
+    const int line = 1 + static_cast<int>(std::count(
+                             code.begin(),
+                             code.begin() +
+                                 static_cast<std::ptrdiff_t>(start),
+                             '\n'));
+    if (isAllowed(allows, line, "lock-discipline")) continue;
+    out->push_back(
+        {relPath, line, "lock-discipline",
+         "mutex '" + name +
+             "' guards no GUARDED_BY-annotated data; annotate the members "
+             "it protects (src/util/thread_annotations.h) or allowlist the "
+             "external resource it serializes"});
+  }
+}
+
+/// annotation-coverage: a file carrying an allow(shared-mutable) marker has
+/// audited thread-shared state, so it must opt in to the compile-time
+/// annotation regime by including src/util/thread_annotations.h (directly
+/// or via src/util/mutex.h, which pulls it in). The include may live in the
+/// paired header — logging.cc gets it through logging.h. One finding per
+/// file, anchored at the first marker.
+void checkAnnotationCoverage(const std::string& content,
+                             const std::string& headerContent,
+                             const std::vector<std::string>& rawLines,
+                             const std::vector<std::string>& maskLines,
+                             const std::map<int, Allow>& allows,
+                             const std::string& relPath,
+                             std::vector<Finding>* out) {
+  const auto hasHeader = [](const std::string& text) {
+    return text.find("src/util/thread_annotations.h") != std::string::npos ||
+           text.find("src/util/mutex.h") != std::string::npos;
+  };
+  if (hasHeader(content) || hasHeader(headerContent)) return;
+  static const std::regex kSharedAllow(
+      R"(manet-lint:\s*allow\([^)]*\bshared-mutable\b)");
+  for (std::size_t i = 0; i < rawLines.size(); ++i) {
+    std::smatch m;
+    if (!std::regex_search(rawLines[i], m, kSharedAllow)) continue;
+    const auto pos = static_cast<std::size_t>(m.position(0));
+    if (i >= maskLines.size() || pos >= maskLines[i].size() ||
+        maskLines[i][pos] != 'c') {
+      continue;
+    }
+    const int line = static_cast<int>(i + 1);
+    if (isAllowed(allows, line, "annotation-coverage")) continue;
+    out->push_back(
+        {relPath, line, "annotation-coverage",
+         "allow(shared-mutable) in a file without the thread-annotation "
+         "header; include \"src/util/thread_annotations.h\" (or "
+         "src/util/mutex.h) so the shared state is under the annotation "
+         "regime"});
+    return;  // one finding per file is enough to drive the fix
+  }
+}
+
+/// bare-lock: direct .lock()/.unlock() calls in src/ leak on early returns
+/// and defeat Clang Thread Safety Analysis; critical sections are MutexLock
+/// scopes. Only src/util/mutex.h (the wrapper itself) touches the raw
+/// std::mutex.
+void checkBareLock(const std::vector<std::string>& codeLines,
+                   const std::map<int, Allow>& allows,
+                   const std::string& relPath, std::vector<Finding>* out) {
+  static const std::regex kBare(R"((\.|->)\s*(lock|unlock)\s*\(\s*\))");
+  for (std::size_t i = 0; i < codeLines.size(); ++i) {
+    std::smatch m;
+    if (!std::regex_search(codeLines[i], m, kBare)) continue;
+    const int line = static_cast<int>(i + 1);
+    if (isAllowed(allows, line, "bare-lock")) continue;
+    out->push_back(
+        {relPath, line, "bare-lock",
+         "direct ." + m[2].str() +
+             "() outside the RAII wrappers; hold the mutex through a "
+             "scoped util::MutexLock (src/util/mutex.h) so every exit "
+             "path releases it"});
+  }
+}
+
 // ------------------------------------------------------------- self-test
 
 struct Fixture {
@@ -778,10 +946,10 @@ const Fixture kFixtures[] = {
      "static int helper(int x) { return x + 1; }\n",
      nullptr},
     {"shared-mutable allowlisted", "src/util/ok_sink.cc",
-     "#include <mutex>\nstd::mutex& sinkMutex() {\n"
-     "  // manet-lint: allow(shared-mutable): stderr serialization only,\n"
-     "  // never read by simulation code\n"
-     "  static std::mutex m;\n  return m;\n}\n",
+     "#include \"src/util/mutex.h\"\nutil::Mutex& sinkMutex() {\n"
+     "  // manet-lint: allow(shared-mutable, lock-discipline): stderr\n"
+     "  // serialization only, never read by simulation code\n"
+     "  static util::Mutex m;\n  return m;\n}\n",
      nullptr},
     {"shared-mutable fine outside src", "bench/ok_static.cc",
      "static int callCount = 0;\n", nullptr},
@@ -872,6 +1040,82 @@ const Fixture kFixtures[] = {
      "  t.recordAlloc(manet::prof::AllocSite::kPacket);\n"
      "}\n",
      nullptr},
+    {"lock-discipline hit", "src/core/bad_mutex.cc",
+     "#include \"src/util/mutex.h\"\n"
+     "class Tally {\n"
+     "  util::Mutex mu_;\n"
+     "  int hits_ = 0;\n"
+     "};\n",
+     "lock-discipline"},
+    {"lock-discipline std::mutex hit", "src/net/bad_std_mutex.cc",
+     "#include <mutex>\n"
+     "class Queue {\n"
+     "  std::mutex mu_;\n"
+     "  int depth_ = 0;\n"
+     "};\n",
+     "lock-discipline"},
+    {"lock-discipline guarded clean", "src/core/ok_mutex.cc",
+     "#include \"src/util/mutex.h\"\n"
+     "class Tally {\n"
+     "  util::Mutex mu_;\n"
+     "  int hits_ GUARDED_BY(mu_) = 0;\n"
+     "};\n",
+     nullptr},
+    {"lock-discipline external resource allowlisted",
+     "src/util/ok_mutex_allow.cc",
+     "#include \"src/util/mutex.h\"\n"
+     "util::Mutex& dirMutex() {\n"
+     "  // manet-lint: allow(shared-mutable, lock-discipline): serializes\n"
+     "  // mkdir against the filesystem, an external resource; no members\n"
+     "  static util::Mutex m;\n"
+     "  return m;\n"
+     "}\n",
+     nullptr},
+    {"lock-discipline and bare-lock exempt in mutex.h", "src/util/mutex.h",
+     "#include <mutex>\n"
+     "class Mutex {\n"
+     "  void lock() { mu_.lock(); }\n"
+     "  std::mutex mu_;\n"
+     "};\n",
+     nullptr},
+    {"annotation-coverage hit", "src/core/bad_cover.cc",
+     "// manet-lint: allow(shared-mutable): audited counter, observational\n"
+     "static int g_count = 0;\n",
+     "annotation-coverage"},
+    {"annotation-coverage clean with header", "src/core/ok_cover.cc",
+     "#include \"src/util/thread_annotations.h\"\n"
+     "// manet-lint: allow(shared-mutable): audited counter, observational\n"
+     "static int g_count = 0;\n",
+     nullptr},
+    {"annotation-coverage allowlisted", "src/core/ok_cover_allow.cc",
+     "// manet-lint: allow(shared-mutable, annotation-coverage): plain int\n"
+     "// read only by report binaries; annotations add no checking here\n"
+     "static int g_flag = 0;\n",
+     nullptr},
+    {"bare-lock hit", "src/net/bad_lock.cc",
+     "#include \"src/util/mutex.h\"\n"
+     "void f(util::Mutex& mu) {\n"
+     "  mu.lock();\n"
+     "  mu.unlock();\n"
+     "}\n",
+     "bare-lock"},
+    {"bare-lock RAII clean", "src/net/ok_lock.cc",
+     "#include \"src/util/mutex.h\"\n"
+     "void f(util::Mutex& mu) {\n"
+     "  const util::MutexLock lock(mu);\n"
+     "}\n",
+     nullptr},
+    {"bare-lock allowlisted", "src/scenario/ok_lock_allow.cc",
+     "#include \"src/util/mutex.h\"\n"
+     "void f(util::Mutex& mu) {\n"
+     "  // manet-lint: allow(bare-lock): audited handoff, released by callee\n"
+     "  mu.lock();\n"
+     "}\n",
+     nullptr},
+    {"bare-lock fine outside src", "tests/core/ok_lock_test.cc",
+     "#include <mutex>\n"
+     "void f(std::mutex& mu) {\n  mu.lock();\n  mu.unlock();\n}\n",
+     nullptr},
     {"comment mention clean", "src/core/ok_comment.cc",
      "// rand() and steady_clock are banned here; see DESIGN.md\nint x;\n",
      nullptr},
@@ -879,6 +1123,76 @@ const Fixture kFixtures[] = {
      "const char* kMsg = \"do not call rand() or iterate unordered_map\";\n",
      nullptr},
 };
+
+// ------------------------------------------------------------- tree walk
+
+/// Default scan roots and extensions, shared by lintTree and countAllows so
+/// the budget counts exactly what the linter scans.
+std::vector<std::filesystem::path> collectSources(
+    const std::filesystem::path& root) {
+  namespace fs = std::filesystem;
+  static const char* kRoots[] = {"src", "bench", "examples", "tests"};
+  static const char* kExts[] = {".cc", ".h", ".cpp", ".hpp"};
+  std::vector<fs::path> files;
+  for (const char* r : kRoots) {
+    const fs::path dir = root / r;
+    if (!fs::exists(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (std::find(std::begin(kExts), std::end(kExts), ext) ==
+          std::end(kExts)) {
+        continue;
+      }
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string slurp(const std::filesystem::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Resolve the scan root so findings are repo-relative however the tool was
+/// invoked ("--root .", "--root ../..", an absolute path): symlinks and
+/// dot-segments are folded away before fs::relative computes paths.
+std::filesystem::path canonicalRoot(const std::string& root) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::path canon = fs::weakly_canonical(fs::path(root), ec);
+  if (ec || canon.empty()) canon = fs::absolute(fs::path(root), ec);
+  if (ec || canon.empty()) canon = fs::path(root);
+  return canon;
+}
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
 
 }  // namespace
 
@@ -971,6 +1285,15 @@ std::vector<Finding> lintSource(const std::string& relPath,
   if (inSrc && !startsWith(relPath, "src/prof/")) {
     checkHotspotGuards(lexed.code, codeLines, allows, relPath, &out);
   }
+  if (inSrc && !startsWith(relPath, "src/util/mutex.")) {
+    checkLockDiscipline(lexed.code, headerCode, allows, relPath, &out);
+    checkBareLock(codeLines, allows, relPath, &out);
+  }
+  if (inSrc && !startsWith(relPath, "src/util/mutex.") &&
+      !startsWith(relPath, "src/util/thread_annotations.")) {
+    checkAnnotationCoverage(content, headerContent, rawLines, maskLines,
+                            allows, relPath, &out);
+  }
 
   std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
     return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
@@ -981,36 +1304,12 @@ std::vector<Finding> lintSource(const std::string& relPath,
 std::vector<Finding> lintTree(const std::string& root,
                               std::vector<std::string>* scannedFiles) {
   namespace fs = std::filesystem;
-  static const char* kRoots[] = {"src", "bench", "examples", "tests"};
-  static const char* kExts[] = {".cc", ".h", ".cpp", ".hpp"};
-
-  std::vector<fs::path> files;
-  for (const char* r : kRoots) {
-    const fs::path dir = fs::path(root) / r;
-    if (!fs::exists(dir)) continue;
-    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
-      if (!entry.is_regular_file()) continue;
-      const std::string ext = entry.path().extension().string();
-      if (std::find(std::begin(kExts), std::end(kExts), ext) ==
-          std::end(kExts)) {
-        continue;
-      }
-      files.push_back(entry.path());
-    }
-  }
-  std::sort(files.begin(), files.end());
-
-  const auto slurp = [](const fs::path& p) {
-    std::ifstream in(p, std::ios::binary);
-    std::ostringstream ss;
-    ss << in.rdbuf();
-    return ss.str();
-  };
+  const fs::path canon = canonicalRoot(root);
+  const std::vector<fs::path> files = collectSources(canon);
 
   std::vector<Finding> out;
   for (const fs::path& p : files) {
-    const std::string rel =
-        fs::relative(p, root).generic_string();
+    const std::string rel = fs::relative(p, canon).generic_string();
     if (scannedFiles) scannedFiles->push_back(rel);
     std::string header;
     const std::string ext = p.extension().string();
@@ -1039,8 +1338,201 @@ std::string formatFinding(const Finding& f) {
          f.message;
 }
 
+std::string ruleHint(const std::string& id) {
+  for (const RuleInfo& r : kRules) {
+    if (id == r.id) return r.hint;
+  }
+  return {};
+}
+
+std::string sarifReport(const std::vector<Finding>& findings) {
+  std::map<std::string, std::size_t> index;
+  for (std::size_t i = 0; i < kRules.size(); ++i) index[kRules[i].id] = i;
+
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"$schema\": "
+        "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+     << "  \"version\": \"2.1.0\",\n"
+     << "  \"runs\": [\n"
+     << "    {\n"
+     << "      \"tool\": {\n"
+     << "        \"driver\": {\n"
+     << "          \"name\": \"manet_lint\",\n"
+     << "          \"rules\": [\n";
+  for (std::size_t i = 0; i < kRules.size(); ++i) {
+    const RuleInfo& r = kRules[i];
+    os << "            {\n"
+       << "              \"id\": \"" << jsonEscape(r.id) << "\",\n"
+       << "              \"shortDescription\": { \"text\": \""
+       << jsonEscape(r.summary) << "\" },\n"
+       << "              \"fullDescription\": { \"text\": \""
+       << jsonEscape(r.rationale) << "\" },\n"
+       << "              \"help\": { \"text\": \"" << jsonEscape(r.hint)
+       << "\" },\n"
+       << "              \"defaultConfiguration\": { \"level\": \"error\" }\n"
+       << "            }" << (i + 1 < kRules.size() ? "," : "") << "\n";
+  }
+  os << "          ]\n"
+     << "        }\n"
+     << "      },\n"
+     << "      \"results\": [\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    os << "        {\n"
+       << "          \"ruleId\": \"" << jsonEscape(f.rule) << "\",\n";
+    const auto it = index.find(f.rule);
+    if (it != index.end()) {
+      os << "          \"ruleIndex\": " << it->second << ",\n";
+    }
+    os << "          \"level\": \"error\",\n"
+       << "          \"message\": { \"text\": \"" << jsonEscape(f.message)
+       << "\" },\n"
+       << "          \"locations\": [\n"
+       << "            {\n"
+       << "              \"physicalLocation\": {\n"
+       << "                \"artifactLocation\": {\n"
+       << "                  \"uri\": \"" << jsonEscape(f.file) << "\",\n"
+       << "                  \"uriBaseId\": \"%SRCROOT%\"\n"
+       << "                },\n"
+       << "                \"region\": { \"startLine\": " << f.line
+       << " }\n"
+       << "              }\n"
+       << "            }\n"
+       << "          ]\n"
+       << "        }" << (i + 1 < findings.size() ? "," : "") << "\n";
+  }
+  os << "      ]\n"
+     << "    }\n"
+     << "  ]\n"
+     << "}\n";
+  return os.str();
+}
+
+std::map<std::string, std::size_t> countAllows(const std::string& root) {
+  std::map<std::string, std::size_t> counts;
+  for (const RuleInfo& r : kRules) counts.emplace(r.id, 0);
+  for (const auto& p : collectSources(canonicalRoot(root))) {
+    const std::string content = slurp(p);
+    const Lexed lexed = stripCommentsAndLiterals(content);
+    const std::vector<std::string> rawLines = splitLines(content);
+    const std::vector<std::string> maskLines = splitLines(lexed.mask);
+    std::vector<Finding> meta;  // unknown-rule/bare-allow noise: lint's job
+    const std::map<int, Allow> allows =
+        parseAllows(rawLines, maskLines, p.generic_string(), &meta);
+    for (const auto& [line, a] : allows) {
+      if (!a.hasJustification) continue;  // bare allows suppress nothing
+      for (const std::string& id : a.ruleIds) ++counts[id];
+    }
+  }
+  return counts;
+}
+
+std::map<std::string, std::size_t> parseBudget(
+    const std::string& content, std::vector<std::string>* errors) {
+  std::map<std::string, std::size_t> budget;
+  std::istringstream in(content);
+  std::string line;
+  int lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const std::size_t b = line.find_first_not_of(" \t\r");
+    if (b == std::string::npos) continue;
+    const std::size_t e = line.find_last_not_of(" \t\r");
+    line = line.substr(b, e - b + 1);
+    std::istringstream fields(line);
+    std::string rule;
+    long long n = -1;
+    std::string extra;
+    if (!(fields >> rule >> n) || n < 0 || (fields >> extra)) {
+      if (errors) {
+        errors->push_back("budget line " + std::to_string(lineNo) +
+                          ": malformed entry '" + line +
+                          "' (expected '<rule> <count>')");
+      }
+      continue;
+    }
+    if (!knownRule(rule)) {
+      if (errors) {
+        errors->push_back("budget line " + std::to_string(lineNo) +
+                          ": unknown rule '" + rule + "'");
+      }
+      continue;
+    }
+    budget[rule] = static_cast<std::size_t>(n);
+  }
+  return budget;
+}
+
+std::string formatBudget(const std::map<std::string, std::size_t>& counts) {
+  std::ostringstream os;
+  os << "# manet_lint suppression budget: how many justified inline\n"
+        "# `manet-lint: allow(<rule>)` markers each rule may carry across\n"
+        "# the scan roots (src, bench, examples, tests).\n"
+        "#\n"
+        "# `manet_lint --check-budget` fails when a count grows past its\n"
+        "# line here, so a new suppression needs either a fix or a\n"
+        "# reviewed baseline bump (`manet_lint --write-budget`\n"
+        "# regenerates this file from the tree).\n";
+  for (const RuleInfo& r : kRules) {
+    const auto it = counts.find(r.id);
+    os << r.id << ' ' << (it == counts.end() ? 0 : it->second) << '\n';
+  }
+  return os.str();
+}
+
+int checkBudget(const std::map<std::string, std::size_t>& counts,
+                const std::map<std::string, std::size_t>& budget,
+                std::string* report) {
+  const auto get = [](const std::map<std::string, std::size_t>& m,
+                      const std::string& k) {
+    const auto it = m.find(k);
+    return it == m.end() ? std::size_t{0} : it->second;
+  };
+  int overages = 0;
+  for (const RuleInfo& r : kRules) {
+    const std::size_t actual = get(counts, r.id);
+    const std::size_t cap = get(budget, r.id);
+    if (actual > cap) {
+      ++overages;
+      if (report) {
+        *report += "over budget: " + std::string(r.id) + " carries " +
+                   std::to_string(actual) + " allow(s), budget " +
+                   std::to_string(cap) +
+                   " — fix the new suppression or bump the baseline with "
+                   "--write-budget\n";
+      }
+    } else if (actual < cap && report) {
+      *report += "slack: " + std::string(r.id) + " carries " +
+                 std::to_string(actual) + " allow(s), budget " +
+                 std::to_string(cap) +
+                 " — consider ratcheting the baseline down\n";
+    }
+  }
+  if (report) {
+    *report += overages == 0 ? "allow budget OK\n"
+                             : "allow budget exceeded\n";
+  }
+  return overages == 0 ? 0 : 1;
+}
+
 int runSelfTest() {
   int failures = 0;
+  // Every rule must be documented end to end: what it flags, why it
+  // exists, and how to fix a finding (--fix-hints must never be blank).
+  for (const RuleInfo& r : kRules) {
+    if (r.summary == nullptr || *r.summary == '\0' ||
+        r.rationale == nullptr || *r.rationale == '\0' ||
+        r.hint == nullptr || *r.hint == '\0') {
+      ++failures;
+      std::fprintf(stderr,
+                   "self-test FAIL: rule '%s' is missing its summary, "
+                   "rationale or fix hint\n",
+                   r.id);
+    }
+  }
   for (const Fixture& fx : kFixtures) {
     const std::vector<Finding> found = lintSource(fx.path, fx.content);
     if (fx.expectRule == nullptr) {

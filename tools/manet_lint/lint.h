@@ -16,6 +16,8 @@
 // code below the block.
 #pragma once
 
+#include <cstddef>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -33,7 +35,8 @@ struct Finding {
 struct RuleInfo {
   const char* id;
   const char* summary;    // one-line description of what is flagged
-  const char* rationale;  // why the rule exists (printed by --fix-hints)
+  const char* rationale;  // why the rule exists
+  const char* hint;       // actionable fix, printed by --fix-hints
 };
 
 /// All rules the engine knows, in stable order.
@@ -63,6 +66,42 @@ std::string formatFinding(const Finding& f);
 
 /// Rationale text for a rule id (empty if unknown).
 std::string ruleRationale(const std::string& id);
+
+/// Actionable fix text for a rule id (empty if unknown).
+std::string ruleHint(const std::string& id);
+
+/// Findings rendered as a SARIF 2.1.0 log (the shape GitHub code scanning
+/// consumes): one run, the full rule catalog in tool.driver.rules (stable
+/// ids and indices), one result per finding with a repo-relative
+/// artifactLocation uri under %SRCROOT% and a 1-based startLine region.
+std::string sarifReport(const std::vector<Finding>& findings);
+
+// -------------------------------------------------------- allow budgets
+//
+// Inline allow() comments are audited suppressions; the committed baseline
+// (tools/manet_lint/allow_budget.txt) caps how many each rule may carry.
+// --check-budget fails when suppressions grow past the baseline, so a new
+// allow needs either a fix or an explicit, reviewable baseline bump.
+
+/// Count justified `manet-lint: allow(<rule>)` markers per rule across the
+/// scan roots. A marker naming several rules counts once per rule named.
+std::map<std::string, std::size_t> countAllows(const std::string& root);
+
+/// Parse a budget file ("<rule> <count>" lines, '#' comments). Unknown rule
+/// ids and malformed lines are reported through `errors` when non-null.
+std::map<std::string, std::size_t> parseBudget(
+    const std::string& content, std::vector<std::string>* errors = nullptr);
+
+/// Budget file content for the given counts (stable rule-catalog order,
+/// zero-count rules included so additions always diff against a line).
+std::string formatBudget(const std::map<std::string, std::size_t>& counts);
+
+/// Compare actual counts against the baseline. Returns 0 when no rule
+/// exceeds its budget; appends human-readable verdict lines to `report`.
+/// Slack (actual < budget) is reported but does not fail.
+int checkBudget(const std::map<std::string, std::size_t>& counts,
+                const std::map<std::string, std::size_t>& budget,
+                std::string* report);
 
 /// Run the embedded fixture suite: every rule must flag its seeded
 /// violation, honour its allowlisted variant, and pass its clean variant.
