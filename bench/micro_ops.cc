@@ -3,11 +3,19 @@
 // small simulation measured in simulated-events per second.
 #include <benchmark/benchmark.h>
 
+#include <memory>
 #include <vector>
 
 #include "src/core/negative_cache.h"
 #include "src/core/route_cache.h"
+#include "src/mobility/mobility_model.h"
 #include "src/mobility/waypoint.h"
+#include "src/net/packet.h"
+#include "src/net/packet_pool.h"
+#include "src/phy/channel.h"
+#include "src/phy/neighbor_index.h"
+#include "src/phy/radio.h"
+#include "src/sim/event_queue.h"
 #include "src/prof/profiler.h"
 #include "src/scenario/scenario.h"
 #include "src/sim/rng.h"
@@ -314,6 +322,114 @@ void BM_SchedulerDispatchProfiled(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_SchedulerDispatchProfiled)->Arg(100000);
+
+// --- Engine-core hot-path machinery (PR 10) -------------------------------
+
+// Packet allocation through the pool vs the generic heap. Same call site
+// (Packet::make), only the process-wide pool switch differs.
+void BM_PacketMakePooled(benchmark::State& state) {
+  const bool saved = net::PacketPool::enabled();
+  net::PacketPool::setEnabled(true);
+  for (auto _ : state) {
+    auto p = net::Packet::make();
+    benchmark::DoNotOptimize(p);
+  }
+  net::PacketPool::setEnabled(saved);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PacketMakePooled);
+
+void BM_PacketMakeHeap(benchmark::State& state) {
+  const bool saved = net::PacketPool::enabled();
+  net::PacketPool::setEnabled(false);
+  for (auto _ : state) {
+    auto p = net::Packet::make();
+    benchmark::DoNotOptimize(p);
+  }
+  net::PacketPool::setEnabled(saved);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PacketMakeHeap);
+
+// One neighborhood query against N radios: the full scan is O(N); the
+// grid visits only the candidate block around the transmitter.
+template <class Index>
+void neighborQueryBench(benchmark::State& state, Index& index,
+                        sim::Scheduler& sched,
+                        std::vector<std::unique_ptr<phy::Radio>>& radios) {
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const phy::Radio& tx = *radios[i++ % radios.size()];
+    std::uint64_t inRange = 0;
+    index.forEachInRange(tx.mobility().positionAt(sched.now()), 250.0,
+                         sched.now(), &tx,
+                         [&](phy::Radio&, double) { ++inRange; });
+    benchmark::DoNotOptimize(inRange);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["radios"] = static_cast<double>(radios.size());
+}
+
+struct NeighborBenchField {
+  sim::Scheduler sched;
+  phy::PhyConfig cfg;
+  phy::Channel channel{sched, cfg};
+  std::vector<std::unique_ptr<mobility::MobilityModel>> mobs;
+  std::vector<std::unique_ptr<phy::Radio>> radios;
+
+  explicit NeighborBenchField(int n) {
+    sim::Rng rng(42);
+    for (int i = 0; i < n; ++i) {
+      mobs.push_back(std::make_unique<mobility::StaticMobility>(Vec2{
+          rng.uniform(0.0, 3000.0), rng.uniform(0.0, 3000.0)}));
+      radios.push_back(std::make_unique<phy::Radio>(
+          static_cast<net::NodeId>(i), *mobs.back(), channel, sched));
+    }
+  }
+};
+
+void BM_NeighborQueryScan(benchmark::State& state) {
+  NeighborBenchField f(static_cast<int>(state.range(0)));
+  phy::ScanNeighborIndex scan(f.sched);
+  for (auto& r : f.radios) scan.attach(r.get());
+  neighborQueryBench(state, scan, f.sched, f.radios);
+}
+BENCHMARK(BM_NeighborQueryScan)->Arg(50)->Arg(500);
+
+void BM_NeighborQueryGrid(benchmark::State& state) {
+  NeighborBenchField f(static_cast<int>(state.range(0)));
+  phy::GridNeighborIndex grid(f.sched, 250.0, 20.0, sim::Time::seconds(1));
+  for (auto& r : f.radios) grid.attach(r.get());
+  neighborQueryBench(state, grid, f.sched, f.radios);
+}
+BENCHMARK(BM_NeighborQueryGrid)->Arg(50)->Arg(500);
+
+// Scheduler throughput on each event-queue implementation. The workload
+// mixes ties and spread-out timers like a real MAC/timer mix.
+void schedulerQueueBench(benchmark::State& state, sim::EventQueueKind kind) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Scheduler sched(kind);
+    std::uint64_t sum = 0;
+    for (int i = 0; i < n; ++i) {
+      sched.scheduleAt(sim::Time::micros((i * 7) % (n / 4 + 1)),
+                       [&sum] { ++sum; });
+    }
+    sched.run();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_SchedulerHeapQueue(benchmark::State& state) {
+  schedulerQueueBench(state, sim::EventQueueKind::kHeap);
+}
+BENCHMARK(BM_SchedulerHeapQueue)->Arg(100000);
+
+void BM_SchedulerCalendarQueue(benchmark::State& state) {
+  schedulerQueueBench(state, sim::EventQueueKind::kCalendar);
+}
+BENCHMARK(BM_SchedulerCalendarQueue)->Arg(100000);
 
 }  // namespace
 

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "src/core/dsr_config.h"
+#include "src/net/packet_pool.h"
 #include "src/prof/bench_report.h"
 #include "src/prof/profiler.h"
 #include "src/scenario/runner.h"
@@ -40,7 +41,12 @@ struct NamedScenario {
 
 // Every knob pinned explicitly — the baseline must not shift when MANET_*
 // env vars are set. Profiling on (that is what we are measuring with),
-// heartbeat off (stderr writes would pollute the timing).
+// heartbeat off (stderr writes would pollute the timing). The engine-core
+// machinery (neighbor index, event queue, packet pool) is pinned to the
+// fast configuration; --engine legacy selects the pre-overhaul reference
+// machinery so the win stays measurable from the same binary.
+bool gLegacyEngine = false;
+
 scenario::ScenarioConfig pinnedBase() {
   scenario::ScenarioConfig cfg;
   cfg.telemetry = telemetry::TelemetryConfig{};
@@ -50,6 +56,11 @@ scenario::ScenarioConfig pinnedBase() {
   cfg.prof.histograms = true;
   cfg.mobilitySeed = 11;
   cfg.trafficSeed = 42;
+  cfg.phy = phy::PhyConfig{};  // not fromEnv(): env must not shift timings
+  cfg.phy.neighborIndex = gLegacyEngine ? phy::NeighborIndexKind::kScan
+                                        : phy::NeighborIndexKind::kGrid;
+  cfg.eventQueue = gLegacyEngine ? sim::EventQueueKind::kHeap
+                                 : sim::EventQueueKind::kCalendar;
   return cfg;
 }
 
@@ -377,11 +388,51 @@ int runSweepSpeedup(int jobs) {
   return identical ? 0 : 1;
 }
 
+// "--floor NAME:EVPS" spec: after measuring, the named scenario's median
+// events/sec must meet the floor or the run exits non-zero. This is the
+// absolute perf gate (compare mode is relative and report-only on CI).
+struct FloorSpec {
+  std::string scenario;
+  double eventsPerSec = 0.0;
+};
+
+bool parseFloor(const std::string& arg, FloorSpec* out) {
+  const std::size_t colon = arg.rfind(':');
+  if (colon == std::string::npos || colon == 0) return false;
+  out->scenario = arg.substr(0, colon);
+  out->eventsPerSec = std::atof(arg.c_str() + colon + 1);
+  return out->eventsPerSec > 0.0;
+}
+
+int checkFloors(const prof::BenchReport& report,
+                const std::vector<FloorSpec>& floors) {
+  int rc = 0;
+  for (const FloorSpec& floor : floors) {
+    const prof::BenchScenario* found = nullptr;
+    for (const prof::BenchScenario& s : report.scenarios) {
+      if (s.name == floor.scenario) found = &s;
+    }
+    if (found == nullptr) {
+      std::fprintf(stderr, "floor: no scenario named %s in this run\n",
+                   floor.scenario.c_str());
+      rc = 1;
+      continue;
+    }
+    const bool ok = found->eventsPerSecMedian >= floor.eventsPerSec;
+    std::printf("floor %-20s %12.0f ev/s (need >= %.0f): %s\n",
+                floor.scenario.c_str(), found->eventsPerSecMedian,
+                floor.eventsPerSec, ok ? "ok" : "FAIL");
+    if (!ok) rc = 1;
+  }
+  return rc;
+}
+
 int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--quick] [--reps N] [--label L] [--out FILE]\n"
-      "          [--heatmap FILE]\n"
+      "          [--heatmap FILE] [--engine fast|legacy]\n"
+      "          [--floor SCENARIO:EVENTS_PER_SEC]...\n"
       "       %s --compare BASELINE CANDIDATE [--threshold T] "
       "[--report-only]\n"
       "       %s --sweep-speedup [--jobs N]\n"
@@ -405,11 +456,23 @@ int main(int argc, char** argv) {
   bool selfTest = false;
   bool sweepSpeedup = false;
   int jobs = 0;
+  std::vector<FloorSpec> floors;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--quick") {
       quick = true;
+    } else if (arg == "--engine" && i + 1 < argc) {
+      const std::string engine = argv[++i];
+      if (engine == "legacy") {
+        gLegacyEngine = true;
+      } else if (engine != "fast") {
+        return usage(argv[0]);
+      }
+    } else if (arg == "--floor" && i + 1 < argc) {
+      FloorSpec floor;
+      if (!parseFloor(argv[++i], &floor)) return usage(argv[0]);
+      floors.push_back(std::move(floor));
     } else if (arg == "--reps" && i + 1 < argc) {
       reps = std::atoi(argv[++i]);
     } else if (arg == "--label" && i + 1 < argc) {
@@ -445,11 +508,16 @@ int main(int argc, char** argv) {
   }
   if (reps < 1) return usage(argv[0]);
 
+  // The packet pool is a process-wide switch, not a ScenarioConfig knob;
+  // pin it to match the selected engine.
+  net::PacketPool::setEnabled(!gLegacyEngine);
+
   prof::BenchReport report;
   report.label = label;
   const std::vector<NamedScenario> scenarios = canonicalScenarios(quick);
-  std::fprintf(stderr, "perf_baseline: %zu scenarios x %d reps (%s)\n",
-               scenarios.size(), reps, quick ? "quick" : "full");
+  std::fprintf(stderr, "perf_baseline: %zu scenarios x %d reps (%s, %s)\n",
+               scenarios.size(), reps, quick ? "quick" : "full",
+               gLegacyEngine ? "legacy engine" : "fast engine");
   std::string heatmap;
   for (const NamedScenario& ns : scenarios) {
     report.scenarios.push_back(
@@ -471,5 +539,5 @@ int main(int argc, char** argv) {
                 s.name.c_str(), s.wallSecondsMedian, s.eventsPerSecMedian,
                 static_cast<unsigned long long>(s.schedQueuePeak));
   }
-  return 0;
+  return checkFloors(report, floors);
 }

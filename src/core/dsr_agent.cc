@@ -3,8 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
-#include "src/core/link_cache.h"
-#include "src/core/route_cache.h"
+#include "src/core/cache_factory.h"
 #include "src/util/logging.h"
 
 namespace manet::core {
@@ -23,14 +22,6 @@ std::vector<net::NodeId> reversed(std::span<const net::NodeId> hops) {
   return {hops.rbegin(), hops.rend()};
 }
 
-std::unique_ptr<RouteCacheBase> makeCache(CacheStructure s, net::NodeId self,
-                                          std::size_t capacity) {
-  if (s == CacheStructure::kLink) {
-    return std::make_unique<LinkCache>(self, capacity);
-  }
-  return std::make_unique<RouteCache>(self, capacity);
-}
-
 }  // namespace
 
 DsrAgent::DsrAgent(net::NodeId self, mac::DcfMac& mac, sim::Scheduler& sched,
@@ -46,7 +37,7 @@ DsrAgent::DsrAgent(net::NodeId self, mac::DcfMac& mac, sim::Scheduler& sched,
       metrics_(metrics),
       oracle_(oracle),
       tracer_(tracer),
-      cache_(makeCache(cfg.cacheStructure, self, cfg.routeCacheCapacity)),
+      cache_(makeRouteCache(cfg, self)),
       neg_(cfg.negCacheCapacity, cfg.negCacheTtl),
       adaptive_(cfg.adaptiveAlpha, cfg.adaptiveMinTimeout),
       sendBuf_(cfg.sendBufferCapacity, cfg.sendBufferTimeout) {

@@ -5,6 +5,8 @@
 #include <numeric>
 
 #include "src/net/network.h"
+#include "src/phy/neighbor_index.h"
+#include "src/phy/radio.h"
 #include "src/traffic/cbr.h"
 
 namespace manet::fault {
@@ -117,13 +119,34 @@ void FaultInjector::armBlackoutGenerator(sim::Time at) {
       at,
       [this] {
         const auto n = static_cast<std::int64_t>(net_.size());
-    const auto from = static_cast<net::NodeId>(rng_.uniformInt(0, n - 1));
-    net::NodeId to;
-    do {
-      to = static_cast<net::NodeId>(rng_.uniformInt(0, n - 1));
-    } while (to == from);
-    const sim::Time dur = expDuration(plan_.blackout.meanDurationSec);
-    beginBlackout(from, to, dur, !plan_.blackout.unidirectional);
+        const auto from = static_cast<net::NodeId>(rng_.uniformInt(0, n - 1));
+        net::NodeId to = from;
+        if (plan_.blackout.inRangeOnly) {
+          // Jam a link that actually exists: query the channel's neighbor
+          // index for radios currently audible from `from` (visited in id
+          // order, so the candidate list is deterministic) and pick one.
+          const phy::NeighborIndex& index = net_.channel().neighborIndex();
+          candidates_.clear();
+          index.forEachInRange(
+              index.positionAt(from, sched().now()),
+              net_.channel().config().rangeMeters, sched().now(), nullptr,
+              [&](phy::Radio& r, double) {
+                if (r.id() != from) candidates_.push_back(r.id());
+              });
+          if (!candidates_.empty()) {
+            to = candidates_[static_cast<std::size_t>(rng_.uniformInt(
+                0, static_cast<std::int64_t>(candidates_.size()) - 1))];
+          }
+        } else {
+          do {
+            to = static_cast<net::NodeId>(rng_.uniformInt(0, n - 1));
+          } while (to == from);
+        }
+        const sim::Time dur = expDuration(plan_.blackout.meanDurationSec);
+        // `to == from` means no in-range peer existed: skip this window.
+        if (to != from) {
+          beginBlackout(from, to, dur, !plan_.blackout.unidirectional);
+        }
         // Next window opens after this one closes (windows never overlap).
         armBlackoutGenerator(sched().now() + dur +
                              expDuration(plan_.blackout.meanGapSec));
@@ -195,11 +218,11 @@ void FaultInjector::beginBlackout(net::NodeId from, net::NodeId to,
 void FaultInjector::beginNoise(sim::Time duration, double corruptProb) {
   if (noiseActive_) return;  // overlapping scripted bursts: keep the first
   noiseActive_ = true;
-  for (std::size_t i = 0; i < net_.size(); ++i) {
-    net_.node(static_cast<net::NodeId>(i))
-        .radio()
-        .setNoise(corruptProb, &noiseRng_);
-  }
+  // Radio-wide sweep through the neighbor index (attach == id order).
+  net_.channel().neighborIndex().forEachRadio(
+      [this, corruptProb](phy::Radio& r) {
+        r.setNoise(corruptProb, &noiseRng_);
+      });
   ++net_.metrics().faultNoiseBursts;
   traceFault(telemetry::TraceEvent::kNoiseBurst, 0, 0, 0, duration.ns());
   sched().scheduleAfter(
@@ -207,9 +230,8 @@ void FaultInjector::beginNoise(sim::Time duration, double corruptProb) {
 }
 
 void FaultInjector::endNoise() {
-  for (std::size_t i = 0; i < net_.size(); ++i) {
-    net_.node(static_cast<net::NodeId>(i)).radio().setNoise(0.0, nullptr);
-  }
+  net_.channel().neighborIndex().forEachRadio(
+      [](phy::Radio& r) { r.setNoise(0.0, nullptr); });
   noiseActive_ = false;
 }
 

@@ -84,6 +84,9 @@ class FaultInjector {
   sim::Rng noiseRng_;  // consumed by radios while a noise burst is active
   std::vector<bool> down_;
   std::vector<traffic::CbrSource*> sources_;
+  /// Scratch for in-range blackout target selection (kept across windows so
+  /// the hot path does not allocate).
+  std::vector<net::NodeId> candidates_;
   bool noiseActive_ = false;
   bool surgeActive_ = false;
 };

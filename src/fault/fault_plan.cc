@@ -158,6 +158,7 @@ FaultPlan FaultPlan::fromEnv(FaultPlan base) {
   envDouble("MANET_FAULT_BLACKOUT_GAP", base.blackout.meanGapSec);
   envDouble("MANET_FAULT_BLACKOUT_DURATION", base.blackout.meanDurationSec);
   envBool("MANET_FAULT_BLACKOUT_UNIDIR", base.blackout.unidirectional);
+  envBool("MANET_FAULT_BLACKOUT_INRANGE", base.blackout.inRangeOnly);
   envDouble("MANET_FAULT_NOISE_GAP", base.noise.meanGapSec);
   envDouble("MANET_FAULT_NOISE_DURATION", base.noise.meanDurationSec);
   envDouble("MANET_FAULT_NOISE_PROB", base.noise.corruptProb);

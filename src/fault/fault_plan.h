@@ -70,6 +70,11 @@ struct BlackoutSpec {
   double meanGapSec = 0.0;  // 0 disables blackouts
   double meanDurationSec = 2.0;
   bool unidirectional = false;  // block one direction only (asymmetric link)
+  /// Pick the second endpoint among radios currently in range of the first
+  /// (via the channel's NeighborIndex) instead of uniformly over all nodes,
+  /// so every blackout jams a link that actually exists. A window whose
+  /// chosen node has no neighbors is skipped (the generator re-arms).
+  bool inRangeOnly = false;
 };
 
 /// Stochastic channel-noise bursts: network-wide frame corruption windows.

@@ -1,8 +1,11 @@
 #include "src/metrics/oracle.h"
 
+#include "src/phy/neighbor_index.h"
+
 namespace manet::metrics {
 
 bool LinkOracle::linkValid(net::NodeId a, net::NodeId b, sim::Time t) const {
+  if (index_ != nullptr) return index_->inRangeAt(a, b, t, range_);
   return distance(positions_(a, t), positions_(b, t)) <= range_;
 }
 

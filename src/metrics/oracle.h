@@ -13,14 +13,26 @@
 #include "src/sim/time.h"
 #include "src/util/vec2.h"
 
+namespace manet::phy {
+class NeighborIndex;
+}
+
 namespace manet::metrics {
 
 class LinkOracle {
  public:
   using PositionFn = std::function<Vec2(net::NodeId, sim::Time)>;
 
+  /// Position-function oracle (tests, synthetic topologies).
   LinkOracle(PositionFn positions, double rangeMeters)
       : positions_(std::move(positions)), range_(rangeMeters) {}
+
+  /// Index-backed oracle: pairwise checks go through the channel's
+  /// NeighborIndex — the same query API transmissions are delivered through
+  /// — instead of a bespoke position callback. The index must outlive the
+  /// oracle and have every queried radio attached.
+  LinkOracle(const phy::NeighborIndex& index, double rangeMeters)
+      : index_(&index), range_(rangeMeters) {}
 
   /// True if a and b are within radio range of each other at time t.
   bool linkValid(net::NodeId a, net::NodeId b, sim::Time t) const;
@@ -29,6 +41,7 @@ class LinkOracle {
   bool routeValid(std::span<const net::NodeId> hops, sim::Time t) const;
 
  private:
+  const phy::NeighborIndex* index_ = nullptr;
   PositionFn positions_;
   double range_;
 };

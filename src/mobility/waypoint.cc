@@ -41,11 +41,26 @@ Vec2 RandomWaypoint::positionAt(sim::Time t) const {
   assert(!legs_.empty());
   if (t <= legs_.front().start) return legs_.front().from;
   if (t >= legs_.back().end) return legs_.back().to;
-  // Find the leg containing t: first leg with end > t.
-  auto it = std::upper_bound(
-      legs_.begin(), legs_.end(), t,
-      [](sim::Time v, const Leg& leg) { return v < leg.end; });
-  const Leg& leg = *it;
+  // Find the leg containing t: first leg with end > t. Try the cached leg
+  // and its successor first (queries track sim time), then fall back to
+  // the binary search.
+  const auto contains = [&](std::size_t j) {
+    return legs_[j].start <= t && t < legs_[j].end;
+  };
+  std::size_t i = cursor_;
+  if (i >= legs_.size() || !contains(i)) {
+    if (i + 1 < legs_.size() && contains(i + 1)) {
+      i = i + 1;
+    } else {
+      i = static_cast<std::size_t>(
+          std::upper_bound(
+              legs_.begin(), legs_.end(), t,
+              [](sim::Time v, const Leg& leg) { return v < leg.end; }) -
+          legs_.begin());
+    }
+    cursor_ = i;
+  }
+  const Leg& leg = legs_[i];
   if (leg.end == leg.start) return leg.from;
   // manet-lint: allow(float-time): position interpolation is real-valued
   const double frac =

@@ -41,6 +41,11 @@ class RandomWaypoint final : public MobilityModel {
 
  private:
   std::vector<Leg> legs_;
+  // Last leg served: position queries track sim time, so the containing leg
+  // is almost always the cached one or its successor — amortized O(1)
+  // instead of a binary search per query. Pure cache (same answer either
+  // way); models are owned by one scenario and queried single-threaded.
+  mutable std::size_t cursor_ = 0;
 };
 
 }  // namespace manet::mobility

@@ -28,6 +28,11 @@ struct NetworkConfig {
   Protocol protocol = Protocol::kDsr;
   core::DsrConfig dsr;
   aodv::AodvConfig aodv;
+  /// Pending-event set for the scheduler; both kinds dispatch in identical
+  /// (time, id) order, so this is purely a performance knob. The calendar
+  /// queue fits simulation workloads (dense near-future MAC events); a
+  /// bare Scheduler outside Network still defaults to the heap.
+  sim::EventQueueKind eventQueue = sim::EventQueueKind::kCalendar;
 };
 
 class Network {
@@ -69,9 +74,9 @@ class Network {
   fault::FaultInjector* faults() { return faults_.get(); }
 
   Vec2 positionOf(NodeId id, sim::Time t) const {
-    // Oracle-driven position queries are mobility work, wherever they run.
-    prof::Scope profScope(sched_.profiler(), prof::Category::kMobility, id);
-    return nodes_.at(id)->mobility().positionAt(t);
+    // One query path for positions: the channel's neighbor index (which
+    // charges the evaluation to the mobility category).
+    return channel_.neighborIndex().positionAt(id, t);
   }
 
   void run(sim::Time until) { sched_.runUntil(until); }

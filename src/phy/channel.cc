@@ -6,6 +6,13 @@
 
 namespace manet::phy {
 
+PhyConfig PhyConfig::fromEnv() { return fromEnv(PhyConfig{}); }
+
+PhyConfig PhyConfig::fromEnv(PhyConfig base) {
+  base.neighborIndex = neighborIndexKindFromEnv(base.neighborIndex);
+  return base;
+}
+
 sim::Time Channel::transmit(Radio& sender, const mac::Frame& f) {
   const sim::Time now = sched_.now();
   const sim::Time dur = txDuration(f.bytes());
@@ -16,31 +23,34 @@ sim::Time Channel::transmit(Radio& sender, const mac::Frame& f) {
   prune();
   active_.push_back(ActiveTx{&sender, pos, end});
 
-  std::uint32_t examined = 0;
   std::uint32_t inRange = 0;
-  for (Radio* r : radios_) {
-    if (r == &sender) continue;
-    ++examined;
-    // In-range test uses positions at transmission start. Frames last
-    // microseconds; node movement within a frame is negligible (< 1 mm at
-    // 20 m/s).
-    const double d = distance(pos, r->position());
-    if (d > cfg_.rangeMeters) continue;
-    if (!blackouts_.empty() && linkBlocked(sender.id(), r->id(), now)) {
-      continue;
-    }
-    ++inRange;
-    sched_.scheduleAt(
-        now + cfg_.propagationDelay, [r, txId, d] { r->rxStart(txId, d); },
-        prof::Category::kPhy);
-    // Copy the frame into the end event: the sender's copy may be reused.
-    sched_.scheduleAt(
-        end + cfg_.propagationDelay, [r, txId, f] { r->rxEnd(txId, f); },
-        prof::Category::kPhy);
-  }
+  // In-range tests use positions at transmission start. Frames last
+  // microseconds; node movement within a frame is negligible (< 1 mm at
+  // 20 m/s). The index visits receivers in attach (id) order, so delivery
+  // ordering — and therefore every downstream tie-break — is identical
+  // whichever index implementation is configured.
+  index_->forEachInRange(
+      pos, cfg_.rangeMeters, now, &sender, [&](Radio& r, double d) {
+        if (!blackouts_.empty() && linkBlocked(sender.id(), r.id(), now)) {
+          return;
+        }
+        ++inRange;
+        Radio* rp = &r;
+        sched_.scheduleAt(
+            now + cfg_.propagationDelay,
+            [rp, txId, d] { rp->rxStart(txId, d); }, prof::Category::kPhy);
+        // Copy the frame into the end event: the sender's copy may be
+        // reused.
+        sched_.scheduleAt(
+            end + cfg_.propagationDelay, [rp, txId, f] { rp->rxEnd(txId, f); },
+            prof::Category::kPhy);
+      });
   // Fan-out tally: how many radios this broadcast had to examine versus how
-  // many could actually hear it — the O(N) waste a spatial index reclaims.
-  if (prof::Profiler* p = sched_.profiler()) p->recordFanout(examined, inRange);
+  // many could actually hear it — the O(N) waste the grid index reclaims.
+  if (prof::Profiler* p = sched_.profiler()) {
+    p->recordFanout(static_cast<std::uint32_t>(index_->lastExamined()),
+                    inRange);
+  }
   return end;
 }
 

@@ -8,10 +8,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/mac/frame.h"
 #include "src/net/packet.h"
+#include "src/phy/neighbor_index.h"
 #include "src/sim/scheduler.h"
 #include "src/util/vec2.h"
 
@@ -30,6 +32,22 @@ struct PhyConfig {
   bool captureEffect = true;
   double captureThreshold = 10.0;  // ns-2 CPThresh
   double pathLossExponent = 4.0;   // two-ray ground regime at these ranges
+
+  /// Which neighbor index the channel delivers broadcasts through. Both
+  /// kinds produce byte-identical runs (the grid confirms candidates with
+  /// exact distance checks and visits them in scan order); the grid makes
+  /// per-frame delivery O(in-range) instead of O(N).
+  NeighborIndexKind neighborIndex = NeighborIndexKind::kGrid;
+  /// Fastest node movement the grid plans for (m/s). Scenario raises it to
+  /// the configured maxSpeed automatically; raise it manually when driving
+  /// Network directly with faster custom mobility.
+  double indexSpeedBound = 50.0;
+  /// How stale grid buckets may get before a query triggers a re-bucket.
+  sim::Time indexRefreshPeriod = sim::Time::seconds(1);
+
+  /// `base` with the MANET_PHY_INDEX (scan|grid) override applied.
+  static PhyConfig fromEnv();
+  static PhyConfig fromEnv(PhyConfig base);
 };
 
 class Radio;
@@ -37,12 +55,22 @@ class Radio;
 class Channel {
  public:
   Channel(sim::Scheduler& sched, PhyConfig cfg)
-      : sched_(sched), cfg_(cfg) {}
+      : sched_(sched),
+        cfg_(cfg),
+        index_(makeNeighborIndex(cfg.neighborIndex, sched, cfg.rangeMeters,
+                                 cfg.indexSpeedBound,
+                                 cfg.indexRefreshPeriod)) {}
   Channel(const Channel&) = delete;
   Channel& operator=(const Channel&) = delete;
 
   /// Register a radio. The pointer must outlive the channel's use.
-  void attach(Radio* r) { radios_.push_back(r); }
+  void attach(Radio* r) { index_->attach(r); }
+
+  /// The spatial index every neighbor query goes through — transmission
+  /// delivery here, ground-truth link checks in metrics::LinkOracle,
+  /// radio-wide sweeps in fault::FaultInjector.
+  NeighborIndex& neighborIndex() { return *index_; }
+  const NeighborIndex& neighborIndex() const { return *index_; }
 
   /// Begin transmitting `f` from `sender`; schedules reception start/end at
   /// every radio in range. Returns when the transmission will end.
@@ -97,7 +125,7 @@ class Channel {
 
   sim::Scheduler& sched_;
   PhyConfig cfg_;
-  std::vector<Radio*> radios_;
+  std::unique_ptr<NeighborIndex> index_;
   mutable std::vector<ActiveTx> active_;
   mutable std::vector<Blackout> blackouts_;
   std::uint64_t nextTxId_ = 1;

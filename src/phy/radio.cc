@@ -22,6 +22,8 @@ Vec2 Radio::position() const {
   return mobility_.positionAt(sched_.now());
 }
 
+Vec2 Radio::positionQuiet() const { return mobility_.positionAt(sched_.now()); }
+
 sim::Time Radio::startTx(const mac::Frame& f) {
   // Crashed radio: nothing reaches the air. Burn the airtime anyway so the
   // MAC's state machine proceeds into its CTS/ACK timeout paths — that is

@@ -122,7 +122,7 @@ double LatencyHistogram::percentileNs(double p) const {
 
 // ----------------------------------------------------------------- profiler
 
-namespace {
+namespace detail {
 
 // Audited: src/prof/ is exempt from the manet_lint wall-clock rule by
 // design — this is the single funnel for host-time reads, and the values
@@ -135,13 +135,34 @@ std::uint64_t steadyNowNs() {
           .count());
 }
 
-}  // namespace
+// Calibrate the TSC rate against steady_clock over a ~2 ms spin (runs once
+// per process, lazily on the first profiled clock read). Returns 0 when the
+// counter is unusable (c1 <= c0, i.e. non-invariant or emulated TSC), which
+// makes fastClockNs fall back to the vdso read.
+double tscNsPerTick() {
+#if defined(__x86_64__)
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::uint64_t c0 = __builtin_ia32_rdtsc();
+  while (std::chrono::steady_clock::now() - t0 <
+         std::chrono::milliseconds(2)) {
+  }
+  const std::uint64_t c1 = __builtin_ia32_rdtsc();
+  const auto t1 = std::chrono::steady_clock::now();
+  const auto ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count();
+  return c1 > c0 ? static_cast<double>(ns) / static_cast<double>(c1 - c0)
+                 : 0.0;
+#else
+  return 0.0;
+#endif
+}
 
-Profiler::Profiler(ProfConfig cfg, ClockFn clock)
-    : cfg_(cfg), clock_(clock != nullptr ? clock : &steadyNowNs) {
+}  // namespace detail
+
+Profiler::Profiler(ProfConfig cfg, ClockFn clock) : cfg_(cfg), clock_(clock) {
   if (cfg_.heartbeatSec > 0.0) {
     heartbeatPeriodNs_ = static_cast<std::uint64_t>(cfg_.heartbeatSec * 1e9);
-    startWallNs_ = clock_();
+    startWallNs_ = clockNs();
     lastBeatWallNs_ = startWallNs_;
   }
   if (cfg_.enabled) {
@@ -171,7 +192,7 @@ void Profiler::pushDepthSample(std::int64_t simNs, std::uint64_t depth) {
 
 void Profiler::heartbeatSlow(std::int64_t simNowNs, std::int64_t simUntilNs,
                              std::uint64_t executed) {
-  const std::uint64_t wall = clock_();
+  const std::uint64_t wall = clockNs();
   if (wall - lastBeatWallNs_ < heartbeatPeriodNs_) return;
   const double wallDelta = static_cast<double>(wall - lastBeatWallNs_) / 1e9;
   const double simDelta =

@@ -215,6 +215,30 @@ std::uint64_t readPeakRssBytes();
 
 class Scope;
 
+namespace detail {
+/// vdso CLOCK_MONOTONIC read (fallback, and the calibration reference).
+std::uint64_t steadyNowNs();
+/// One-time TSC calibration against steady_clock; 0 when unusable.
+double tscNsPerTick();
+}  // namespace detail
+
+/// The profiler's default wall-clock read, inlined at every scope site.
+/// On x86-64 this is a raw rdtsc (the invariant counter vdso
+/// CLOCK_MONOTONIC is itself built on) scaled by a once-per-process
+/// calibration — profilers read the clock several times per dispatched
+/// event, and an out-of-line clock_gettime there costs >20% of a BENCH
+/// run. Values feed reports only; they can never perturb the simulation.
+inline std::uint64_t fastClockNs() {
+#if defined(__x86_64__)
+  static const double nsPerTick = detail::tscNsPerTick();
+  if (nsPerTick > 0.0) {
+    return static_cast<std::uint64_t>(
+        static_cast<double>(__builtin_ia32_rdtsc()) * nsPerTick);
+  }
+#endif
+  return detail::steadyNowNs();
+}
+
 /// Collects per-category self-time and occupancy peaks for one run.
 /// Single-threaded, like the scheduler that drives it.
 class Profiler {
@@ -318,7 +342,11 @@ class Profiler {
 
   Report report() const;
 
-  std::uint64_t clockNs() const { return clock_(); }
+  /// Wall-clock read: injected test clock when present, else the inlined
+  /// fast clock (see fastClockNs above).
+  std::uint64_t clockNs() const {
+    return clock_ != nullptr ? clock_() : fastClockNs();
+  }
 
  private:
   friend class Scope;

@@ -301,6 +301,7 @@ std::string configFingerprint(const ScenarioConfig& cfg) {
   kvD(out, "f_bo_gap", f.blackout.meanGapSec);
   kvD(out, "f_bo_dur", f.blackout.meanDurationSec);
   kvU(out, "f_bo_unidir", f.blackout.unidirectional ? 1 : 0);
+  kvU(out, "f_bo_inrange", f.blackout.inRangeOnly ? 1 : 0);
   kvD(out, "f_noise_gap", f.noise.meanGapSec);
   kvD(out, "f_noise_dur", f.noise.meanDurationSec);
   kvD(out, "f_noise_prob", f.noise.corruptProb);

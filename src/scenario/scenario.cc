@@ -1,5 +1,6 @@
 #include "src/scenario/scenario.h"
 
+#include <algorithm>
 #include <chrono>
 #include <stdexcept>
 #include <string>
@@ -60,8 +61,11 @@ Scenario::Scenario(const ScenarioConfig& cfg) : cfg_(cfg) {
   // fresh process.
   net::Packet::resetUidCounter();
   net::RouteProvenance::resetIdCounter();
-  net::NetworkConfig netCfg{cfg.phy, cfg.mac, cfg.protocol, cfg.dsr,
-                            cfg.aodv};
+  // The neighbor index must bound node speed to stay an exact superset
+  // filter; random waypoint never exceeds the configured maxSpeed.
+  cfg_.phy.indexSpeedBound = std::max(cfg_.phy.indexSpeedBound, cfg_.maxSpeed);
+  net::NetworkConfig netCfg{cfg_.phy, cfg.mac, cfg.protocol, cfg.dsr,
+                            cfg.aodv, cfg_.eventQueue};
   // Seed the network (MAC jitter, DSR jitter) from the mobility seed so a
   // different replication is a genuinely different random world, while the
   // traffic pattern below stays fixed across replications.

@@ -5,12 +5,11 @@
 
 namespace manet::sim {
 
-EventId Scheduler::scheduleAt(Time at, std::function<void()> fn,
-                              prof::Category cat) {
+EventId Scheduler::scheduleAt(Time at, EventFn fn, prof::Category cat) {
   assert(at >= now_ && "cannot schedule in the past");
   const EventId id = nextId_++;
-  queue_.push(Entry{at, id, std::move(fn), cat});
-  if (queue_.size() > queuePeak_) queuePeak_ = queue_.size();
+  queue_->push(EventEntry{at, id, std::move(fn), cat});
+  if (queue_->size() > queuePeak_) queuePeak_ = queue_->size();
   states_.push_back(EvState::kPending);
   assert(baseId_ + states_.size() == nextId_);
   // Hotspot observability: event horizon (how far ahead of now the event
@@ -46,24 +45,24 @@ void Scheduler::cancel(EventId id) {
   ++cancelledLive_;
 }
 
+Time Scheduler::nextEventAt() {
+  const EventEntry* top = queue_->peek();
+  return top == nullptr ? Time::max() : top->at;
+}
+
 void Scheduler::runUntil(Time until) {
-  while (!queue_.empty()) {
-    const Entry& top = queue_.top();
-    if (top.at > until) break;
-    const EventId id = top.id;
+  while (const EventEntry* top = queue_->peek()) {
+    if (top->at > until) break;
+    const EventId id = top->id;
     if (*stateOf(id) == EvState::kCancelled) {
-      queue_.pop();
+      queue_->pop();
       retire(id);
       if (prof_ != nullptr) prof_->allocRelease(prof::AllocSite::kEvent);
       continue;
     }
-    // Move the handler out before popping so it may schedule/cancel freely.
-    Time at = top.at;
-    const prof::Category cat = top.cat;
-    std::function<void()> fn = std::move(const_cast<Entry&>(top).fn);
-    queue_.pop();
+    EventEntry e = queue_->pop();
     retire(id);  // a handler cancelling its own id is a no-op
-    now_ = at;
+    now_ = e.at;
     ++executed_;
     // Span capture reads only the profiler's wall clock and writes into a
     // bounded buffer nothing in the simulation reads back.
@@ -73,20 +72,20 @@ void Scheduler::runUntil(Time until) {
     if (prof_ != nullptr) {
       prof_->allocRelease(prof::AllocSite::kEvent);
       {
-        prof::Scope scope(prof_, cat);  // inert unless collecting
-        prof_->countDispatch(cat);
-        fn();
+        prof::Scope scope(prof_, e.cat);  // inert unless collecting
+        prof_->countDispatch(e.cat);
+        e.fn();
       }
       // Depth after the handler ran: counts whatever it just scheduled.
-      prof_->noteQueueDepth(now_.ns(), queue_.size());
+      prof_->noteQueueDepth(now_.ns(), queue_->size());
       prof_->heartbeat(now_.ns(), until.ns(), executed_);
     } else {
-      fn();
+      e.fn();
     }
     if (capture) {
       const std::uint64_t w1 =
           prof_ != nullptr ? prof_->clockNs() : 0;
-      recordSpan(DispatchSpan{at, executed_, w0, w1 - w0, cat});
+      recordSpan(DispatchSpan{e.at, executed_, w0, w1 - w0, e.cat});
     }
   }
   if (now_ < until && until != Time::max()) now_ = until;

@@ -3,17 +3,18 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
-#include <queue>
+#include <memory>
 #include <vector>
 
 #include "src/prof/profiler.h"
+#include "src/sim/event_fn.h"
+#include "src/sim/event_queue.h"
 #include "src/sim/time.h"
 
 namespace manet::sim {
 
 /// Handle for a scheduled event, usable with Scheduler::cancel.
-using EventId = std::uint64_t;
+/// (EventId itself is declared in event_queue.h next to EventEntry.)
 inline constexpr EventId kInvalidEvent = 0;
 
 /// One dispatched handler, captured for timeline export: when it ran in
@@ -31,14 +32,20 @@ struct DispatchSpan {
 /// Single-threaded discrete-event scheduler.
 ///
 /// Events at equal timestamps fire in scheduling (FIFO) order, which keeps
-/// runs deterministic. Cancellation is lazy: cancelled entries are skipped
-/// when they reach the head of the queue. Event status is tracked in a
-/// dense per-id window (ids are assigned sequentially and retired roughly
-/// in order), so cancelling an already-fired id is a true no-op and
-/// pendingCount() stays exact.
+/// runs deterministic. The pending set lives behind the EventQueue
+/// interface (binary heap or calendar queue, chosen at construction); both
+/// implementations dispatch in identical (time, id) order, so the choice
+/// is a pure performance knob. Cancellation is lazy: cancelled entries are
+/// skipped when they reach the head of the queue. Event status is tracked
+/// in a dense per-id window (ids are assigned sequentially and retired
+/// roughly in order), so cancelling an already-fired id is a true no-op
+/// and pendingCount() stays exact.
 class Scheduler {
  public:
-  Scheduler() = default;
+  /// A bare scheduler defaults to the tuning-free binary heap; Scenario
+  /// runs select the calendar queue (see ScenarioConfig::eventQueue).
+  explicit Scheduler(EventQueueKind queue = EventQueueKind::kHeap)
+      : queue_(makeEventQueue(queue)) {}
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
 
@@ -47,11 +54,11 @@ class Scheduler {
 
   /// Schedule `fn` to run at absolute time `at` (must be >= now()).
   /// `cat` attributes the handler's wall time when profiling is on.
-  EventId scheduleAt(Time at, std::function<void()> fn,
+  EventId scheduleAt(Time at, EventFn fn,
                      prof::Category cat = prof::Category::kOther);
 
   /// Schedule `fn` to run `delay` after now().
-  EventId scheduleAfter(Time delay, std::function<void()> fn,
+  EventId scheduleAfter(Time delay, EventFn fn,
                         prof::Category cat = prof::Category::kOther) {
     return scheduleAt(now_ + delay, std::move(fn), cat);
   }
@@ -66,28 +73,37 @@ class Scheduler {
   /// Run all remaining events.
   void run() { runUntil(Time::max()); }
 
+  // --- introspection (queue-agnostic: identical answers whichever
+  //     EventQueue implementation is selected) ---
+
   /// Number of events executed so far (for microbenchmarks / sanity checks).
   std::uint64_t executedCount() const { return executed_; }
   /// Total handlers dispatched (alias of executedCount; cancelled entries
   /// are popped without dispatching and do not count).
   std::uint64_t totalDispatched() const { return executed_; }
   /// Number of events still queued and not cancelled.
-  std::size_t pendingCount() const { return queue_.size() - cancelledLive_; }
+  std::size_t pendingCount() const { return queue_->size() - cancelledLive_; }
   /// Largest raw queue size ever reached (cancelled entries included —
   /// this is the memory high-water mark). Tracked unconditionally.
   std::size_t queueHighWater() const { return queuePeak_; }
+  /// Timestamp of the next entry that would dispatch (cancelled entries
+  /// included until they are lazily popped), or Time::max() when idle.
+  Time nextEventAt();
+  /// The selected pending-set implementation ("heap" / "calendar").
+  const char* queueName() const { return queue_->name(); }
 
   /// Attach a profiler (nullable; not owned). When set, each dispatched
   /// event is timed and charged to its scheduling category, and the
   /// profiler's progress heartbeat is driven from the dispatch loop. The
-  /// profiler only observes wall time — simulated time, ordering and every
-  /// RNG stream are untouched, so profiled runs stay bit-identical.
+  /// profiler only observes wall time — never sim time or any RNG stream —
+  /// so profiled runs stay bit-identical. The profiler's horizon histogram
+  /// (recordHorizon) is fed from scheduleAt whichever queue is selected.
   void setProfiler(prof::Profiler* p) { prof_ = p; }
   prof::Profiler* profiler() const { return prof_; }
 
-  /// Heap-entry footprint for the event allocation-site tally (the Entry
-  /// type itself is private; arenas from ROADMAP item 1 will size off this).
-  static constexpr std::size_t eventEntryBytes() { return sizeof(Entry); }
+  /// Pending-entry footprint for the event allocation-site tally (the
+  /// calendar queue's buckets and the heap both store EventEntry inline).
+  static constexpr std::size_t eventEntryBytes() { return sizeof(EventEntry); }
 
   /// Keep the most recent `capacity` dispatch spans (0 disables). Purely
   /// observational: the buffer is bounded, reads only the profiler's wall
@@ -99,19 +115,6 @@ class Scheduler {
   std::vector<DispatchSpan> dispatchSpans() const;
 
  private:
-  struct Entry {
-    Time at;
-    EventId id;
-    std::function<void()> fn;
-    prof::Category cat;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.id > b.id;  // FIFO among ties
-    }
-  };
-
   enum class EvState : std::uint8_t { kPending, kCancelled, kDone };
 
   /// Status slot for `id`, or nullptr if the id was never issued or its
@@ -123,7 +126,7 @@ class Scheduler {
   Time now_ = Time::zero();
   EventId nextId_ = 1;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::unique_ptr<EventQueue> queue_;
   /// states_[id - baseId_] for every id not yet retired. The window stays
   /// small because events retire in near-id order; it is trimmed from the
   /// front as soon as the oldest outstanding id fires.

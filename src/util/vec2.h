@@ -15,7 +15,10 @@ struct Vec2 {
   constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
   constexpr bool operator==(const Vec2&) const = default;
 
-  double norm() const { return std::hypot(x, y); }
+  // sqrt, not std::hypot: coordinates are bounded field positions (a few
+  // km), so the squares cannot overflow/underflow and hypot's extra-
+  // precision path only costs time on the range-check hot loop.
+  double norm() const { return std::sqrt(x * x + y * y); }
 };
 
 /// Euclidean distance between two points, in meters.

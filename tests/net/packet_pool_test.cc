@@ -1,0 +1,94 @@
+// PacketPool: recycling must be invisible (identical packet contents and
+// uids) and must actually recycle (no slab growth at steady state).
+#include "src/net/packet_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/net/packet.h"
+
+namespace manet::net {
+namespace {
+
+/// Restore the process-wide pool switch after each test (other tests in
+/// this binary run in the same process).
+struct PoolFlagGuard {
+  bool saved = PacketPool::enabled();
+  ~PoolFlagGuard() { PacketPool::setEnabled(saved); }
+};
+
+TEST(PacketPoolTest, SteadyStateAllocatesNoNewSlabs) {
+  PoolFlagGuard guard;
+  PacketPool::setEnabled(true);
+  auto churn = [] {
+    std::vector<std::shared_ptr<Packet>> batch;
+    batch.reserve(PacketPool::kSlabObjects);
+    for (std::size_t i = 0; i < PacketPool::kSlabObjects; ++i) {
+      batch.push_back(Packet::make());
+    }
+  };
+  churn();  // warm: grows at most one slab for this size class
+  const auto warm = PacketPool::local().stats();
+  for (int round = 0; round < 10; ++round) churn();
+  const auto after = PacketPool::local().stats();
+  EXPECT_EQ(after.slabAllocs, warm.slabAllocs)
+      << "steady-state churn should be served entirely from the freelist";
+  EXPECT_EQ(after.acquires - warm.acquires, 10 * PacketPool::kSlabObjects);
+  EXPECT_EQ(after.releases - warm.releases, 10 * PacketPool::kSlabObjects);
+}
+
+TEST(PacketPoolTest, PooledPacketsBehaveLikeHeapPackets) {
+  PoolFlagGuard guard;
+  for (bool pooled : {false, true}) {
+    PacketPool::setEnabled(pooled);
+    Packet::resetUidCounter();
+    auto p = Packet::make();
+    EXPECT_EQ(p->uid, 1u);
+    p->kind = PacketKind::kData;
+    p->src = 3;
+    p->dst = 9;
+    p->payloadBytes = 512;
+    p->route = SourceRoute{{3, 5, 9}, 0};
+    auto c = clone(*p);
+    EXPECT_EQ(c->uid, 1u);  // clone preserves identity
+    EXPECT_EQ(c->src, 3u);
+    EXPECT_EQ(c->dst, 9u);
+    ASSERT_TRUE(c->route.has_value());
+    EXPECT_EQ(c->route->hops, (std::vector<net::NodeId>{3, 5, 9}));
+    EXPECT_EQ(c->wireBytes(), p->wireBytes());
+    auto q = Packet::make();
+    EXPECT_EQ(q->uid, 2u);
+  }
+}
+
+TEST(PacketPoolTest, FlagFlipMidLifetimeFreesSymmetrically) {
+  PoolFlagGuard guard;
+  PacketPool::setEnabled(true);
+  auto pooled = Packet::make();
+  PacketPool::setEnabled(false);
+  auto heap = Packet::make();
+  const auto before = PacketPool::local().stats();
+  // The pooled packet must release into the pool even though the flag is
+  // now off (the allocator travels in the shared_ptr control block)...
+  pooled.reset();
+  EXPECT_EQ(PacketPool::local().stats().releases, before.releases + 1);
+  // ...and the heap packet must not touch the pool.
+  heap.reset();
+  EXPECT_EQ(PacketPool::local().stats().releases, before.releases + 1);
+}
+
+TEST(PacketPoolTest, SlotsAreRecycledLifo) {
+  PoolFlagGuard guard;
+  PacketPool::setEnabled(true);
+  Packet::make();  // allocate + immediately free one slot
+  const auto s1 = PacketPool::local().stats();
+  Packet::make();
+  const auto s2 = PacketPool::local().stats();
+  EXPECT_EQ(s2.slabAllocs, s1.slabAllocs);
+  EXPECT_EQ(s2.freeObjects, s1.freeObjects);
+}
+
+}  // namespace
+}  // namespace manet::net
